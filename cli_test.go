@@ -1,0 +1,132 @@
+package vabuf_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// buildCmd compiles one of the repo's commands into a temp dir.
+func buildCmd(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func runCmd(t *testing.T, bin string, args ...string) (string, string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	return stdout.String(), stderr.String(), err
+}
+
+func TestBufinsCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	bin := buildCmd(t, "./cmd/bufins")
+	out, _, err := runCmd(t, bin, "-bench", "p1", "-algo", "wid", "-criticality", "2")
+	if err != nil {
+		t.Fatalf("bufins: %v\n%s", err, out)
+	}
+	for _, want := range []string{"269 sinks", "RAT:", "buffers:", "most critical sinks:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic NOM run.
+	out2, _, err := runCmd(t, bin, "-bench", "p1", "-algo", "nom")
+	if err != nil {
+		t.Fatalf("bufins nom: %v", err)
+	}
+	if !strings.Contains(out2, "sigma 0.00") {
+		t.Errorf("NOM run shows nonzero sigma:\n%s", out2)
+	}
+	// Error paths exit non-zero.
+	if _, _, err := runCmd(t, bin, "-bench", "nope"); err == nil {
+		t.Error("unknown bench accepted")
+	}
+	if _, _, err := runCmd(t, bin); err == nil {
+		t.Error("missing inputs accepted")
+	}
+	if _, _, err := runCmd(t, bin, "-bench", "p1", "-algo", "martian"); err == nil {
+		t.Error("unknown algo accepted")
+	}
+}
+
+func TestBenchgenCLIRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	gen := buildCmd(t, "./cmd/benchgen")
+	ins := buildCmd(t, "./cmd/bufins")
+	out, _, err := runCmd(t, gen, "-sinks", "30", "-seed", "3")
+	if err != nil {
+		t.Fatalf("benchgen: %v", err)
+	}
+	if !strings.HasPrefix(out, "tree v1") {
+		t.Fatalf("unexpected header: %.40q", out)
+	}
+	// Feed the generated tree back into bufins via a file.
+	f := filepath.Join(t.TempDir(), "net.tree")
+	if err := writeFile(f, out); err != nil {
+		t.Fatal(err)
+	}
+	out2, _, err := runCmd(t, ins, "-tree", f, "-algo", "nom")
+	if err != nil {
+		t.Fatalf("bufins on generated tree: %v\n%s", err, out2)
+	}
+	if !strings.Contains(out2, "30 sinks") {
+		t.Errorf("round trip lost sinks:\n%s", out2)
+	}
+	// List mode.
+	out3, _, err := runCmd(t, gen, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out3, "r5") {
+		t.Errorf("list missing presets:\n%s", out3)
+	}
+	if _, _, err := runCmd(t, gen); err == nil {
+		t.Error("benchgen with no mode accepted")
+	}
+}
+
+func TestExperimentsCLIQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	bin := buildCmd(t, "./cmd/experiments")
+	out, _, err := runCmd(t, bin, "-run", "table1")
+	if err != nil {
+		t.Fatalf("experiments: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "6201") {
+		t.Errorf("table1 output wrong:\n%s", out)
+	}
+	out2, _, err := runCmd(t, bin, "-run", "fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2, "P(T1 > T2)") {
+		t.Errorf("fig2 output wrong:\n%s", out2)
+	}
+	if _, _, err := runCmd(t, bin, "-run", "bogus"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

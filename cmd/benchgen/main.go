@@ -1,0 +1,81 @@
+// Command benchgen emits benchmark routing trees in the rctree text
+// format: the built-in Table 1 presets, arbitrary random trees, or H-tree
+// clock networks.
+//
+// Usage:
+//
+//	benchgen -preset r3 > r3.tree
+//	benchgen -sinks 500 -seed 7 -die 8000 > net.tree
+//	benchgen -htree 6 -die 10000 > clk.tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vabuf"
+	"vabuf/internal/benchgen"
+	"vabuf/internal/rctree"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		preset  = flag.String("preset", "", "Table 1 preset name (p1, p2, r1..r5)")
+		sinks   = flag.Int("sinks", 0, "random tree sink count")
+		seed    = flag.Int64("seed", 1, "random tree seed")
+		die     = flag.Float64("die", 0, "die side in µm (0 = auto)")
+		htree   = flag.Int("htree", 0, "H-tree levels (4^levels sinks)")
+		segment = flag.Float64("segment", 0, "segmentize wires longer than this (µm, 0 = off)")
+		list    = flag.Bool("list", false, "list the built-in presets and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range benchgen.Presets() {
+			fmt.Printf("%-4s %6d sinks (seed %d)\n", s.Name, s.Sinks, s.Seed)
+		}
+		return nil
+	}
+
+	var (
+		tree *vabuf.Tree
+		err  error
+	)
+	switch {
+	case *preset != "":
+		tree, err = benchgen.Build(*preset)
+	case *htree > 0:
+		side := *die
+		if side == 0 {
+			side = 10000
+		}
+		tree, err = benchgen.HTree(*htree, side, 10, rctree.WireParams{}, 0.3)
+	case *sinks > 0:
+		tree, err = benchgen.Random(benchgen.Spec{
+			Name:    fmt.Sprintf("rand%d", *sinks),
+			Sinks:   *sinks,
+			Seed:    *seed,
+			DieSide: *die,
+		})
+	default:
+		return fmt.Errorf("one of -preset, -sinks or -htree is required (or -list)")
+	}
+	if err != nil {
+		return err
+	}
+	if *segment > 0 {
+		tree, err = benchgen.Segmentize(tree, *segment)
+		if err != nil {
+			return err
+		}
+	}
+	return vabuf.WriteTree(os.Stdout, tree)
+}

@@ -1,0 +1,191 @@
+// Command bufins runs buffer insertion on a routing tree — either one of
+// the built-in Table 1 benchmarks or a tree file in the rctree text
+// format — and prints the resulting RAT distribution, buffer count, and
+// optionally the full assignment.
+//
+// Usage:
+//
+//	bufins -bench r3 -algo wid
+//	bufins -tree net.tree -algo nom -print-assignment
+//
+// Algorithms: nom (deterministic van Ginneken), d2d (random + inter-die
+// variation), wid (all variation classes, the paper's algorithm). The
+// -rule flag selects 2P (default) or the 4P baseline, and -pbar sets the
+// 2P thresholds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"vabuf"
+	"vabuf/internal/variation"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bufins:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bench     = flag.String("bench", "", "built-in benchmark name (p1, p2, r1..r5)")
+		treeFile  = flag.String("tree", "", "tree file in rctree text format")
+		algo      = flag.String("algo", "wid", "nom, d2d, or wid")
+		ruleName  = flag.String("rule", "2p", "pruning rule for variation-aware runs: 2p or 4p")
+		pbar      = flag.Float64("pbar", 0.5, "2P thresholds pbar_L = pbar_T")
+		budget    = flag.Float64("budget", 0.15, "per-class variation budget")
+		hetero    = flag.Bool("hetero", true, "heterogeneous spatial variation")
+		quantile  = flag.Float64("quantile", 0.05, "yield quantile for selection and reporting")
+		maxCand   = flag.Int("max-candidates", 0, "candidate cap (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit (0 = unlimited)")
+		printAsgn = flag.Bool("print-assignment", false, "print the buffer assignment")
+		inverters = flag.Bool("inverters", false, "add the inverter library (polarity-aware insertion)")
+		libFile   = flag.String("library", "", "JSON buffer-library file (default: built-in library)")
+		wireSize  = flag.Bool("wire-sizing", false, "enable simultaneous wire sizing")
+		critN     = flag.Int("criticality", 0, "print the N most critical sinks")
+	)
+	flag.Parse()
+
+	tree, err := loadTree(*bench, *treeFile)
+	if err != nil {
+		return err
+	}
+	lib := vabuf.DefaultLibrary()
+	if *libFile != "" {
+		f, err := os.Open(*libFile)
+		if err != nil {
+			return err
+		}
+		lib, err = vabuf.ReadLibrary(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if *inverters {
+		lib = append(lib, vabuf.InverterLibrary()...)
+	}
+	opts := vabuf.Options{
+		Library:        lib,
+		PbarL:          *pbar,
+		PbarT:          *pbar,
+		SelectQuantile: *quantile,
+		MaxCandidates:  *maxCand,
+		Timeout:        *timeout,
+	}
+	if *wireSize {
+		opts.WireLibrary = vabuf.DefaultWireLibrary()
+	}
+	switch *ruleName {
+	case "2p":
+		opts.Rule = vabuf.Rule2P
+	case "4p":
+		opts.Rule = vabuf.Rule4P
+	default:
+		return fmt.Errorf("unknown rule %q", *ruleName)
+	}
+	var model *vabuf.VariationModel
+	switch *algo {
+	case "nom":
+	case "d2d", "wid":
+		cfg := vabuf.DefaultModelConfig(tree)
+		cfg.RandomFrac = *budget
+		cfg.InterDieFrac = *budget
+		cfg.SpatialFrac = *budget
+		cfg.Heterogeneous = *hetero
+		if *algo == "d2d" {
+			cfg.SpatialFrac = 0
+			cfg.Heterogeneous = false
+		}
+		model, err = variation.NewModel(cfg)
+		if err != nil {
+			return err
+		}
+		opts.Model = model
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+
+	t0 := time.Now()
+	res, err := vabuf.Insert(tree, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+
+	fmt.Printf("tree: %d sinks, %d buffer positions, %.0f µm wire\n",
+		tree.NumSinks(), tree.NumBufferPositions(), tree.TotalWireLength())
+	fmt.Printf("algo: %s (rule %v, pbar %.2f)\n", *algo, opts.Rule, *pbar)
+	fmt.Printf("RAT:  mean %.2f ps, sigma %.2f ps, %g%%-yield RAT %.2f ps\n",
+		res.Mean, res.Sigma, 100*(1-*quantile), res.Objective)
+	fmt.Printf("buffers: %d, root candidates: %d\n", res.NumBuffers, res.RootCandidates)
+	fmt.Printf("runtime: %.3fs (%d candidates generated, %d pruned, peak list %d)\n",
+		elapsed.Seconds(), res.Stats.Generated, res.Stats.Pruned, res.Stats.PeakList)
+	if len(res.WireAssignment) > 0 {
+		counts := make(map[int]int)
+		for _, wi := range res.WireAssignment {
+			counts[wi]++
+		}
+		fmt.Print("wire sizing:")
+		for wi, wc := range opts.WireLibrary {
+			fmt.Printf(" %s=%d", wc.Name, counts[wi])
+		}
+		fmt.Println()
+	}
+	if *printAsgn {
+		ids := make([]vabuf.NodeID, 0, len(res.Assignment))
+		for id := range res.Assignment {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			n := tree.Node(id)
+			fmt.Printf("  node %-6d %-8s at %s -> %s\n", id, n.Kind, n.Loc, lib[res.Assignment[id]].Name)
+		}
+	}
+	if *critN > 0 {
+		crit, err := vabuf.SinkCriticality(tree, lib, res.Assignment, model)
+		if err != nil {
+			return err
+		}
+		type entry struct {
+			id vabuf.NodeID
+			p  float64
+		}
+		var es []entry
+		for id, p := range crit {
+			es = append(es, entry{id, p})
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i].p > es[j].p })
+		fmt.Println("most critical sinks:")
+		for i := 0; i < *critN && i < len(es); i++ {
+			n := tree.Node(es[i].id)
+			fmt.Printf("  sink %-6d at %s  criticality %.1f%%\n", es[i].id, n.Loc, 100*es[i].p)
+		}
+	}
+	return nil
+}
+
+func loadTree(bench, file string) (*vabuf.Tree, error) {
+	switch {
+	case bench != "" && file != "":
+		return nil, fmt.Errorf("give either -bench or -tree, not both")
+	case bench != "":
+		return vabuf.GenerateBenchmark(bench)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return vabuf.ReadTree(f)
+	default:
+		return nil, fmt.Errorf("one of -bench or -tree is required")
+	}
+}

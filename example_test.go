@@ -1,0 +1,65 @@
+package vabuf_test
+
+import (
+	"fmt"
+	"log"
+
+	"vabuf"
+)
+
+// The Table 1 benchmarks are generated with fixed seeds, so their
+// characteristics are stable.
+func ExampleGenerateBenchmark() {
+	tree, err := vabuf.GenerateBenchmark("r3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tree.NumSinks(), tree.NumBufferPositions())
+	// Output: 862 1723
+}
+
+// Deterministic van Ginneken insertion: the classic baseline.
+func ExampleInsert() {
+	tree, err := vabuf.GenerateTree(vabuf.BenchmarkSpec{Name: "demo", Sinks: 25, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := vabuf.Insert(tree, vabuf.Options{Library: vabuf.DefaultLibrary()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.NumBuffers > 0, res.Sigma == 0)
+	// Output: true true
+}
+
+// Variation-aware insertion returns the RAT as a distribution.
+func ExampleInsert_variationAware() {
+	tree, err := vabuf.GenerateTree(vabuf.BenchmarkSpec{Name: "demo", Sinks: 25, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := vabuf.DefaultModelConfig(tree)
+	model, err := vabuf.NewVariationModel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := vabuf.Insert(tree, vabuf.Options{
+		Library: vabuf.DefaultLibrary(),
+		Model:   model,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Sigma > 0, res.Objective < res.Mean)
+	// Output: true true
+}
+
+// The H-tree generator builds 4^levels perfectly symmetric sinks.
+func ExampleGenerateHTree() {
+	tree, err := vabuf.GenerateHTree(4, 8000, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tree.NumSinks())
+	// Output: 256
+}

@@ -1,0 +1,3 @@
+module vabuf
+
+go 1.22

@@ -1,0 +1,259 @@
+// Package benchgen generates the benchmark routing trees of §5.1. The
+// original p1/p2 and r1–r5 Steiner trees of [11] are not available
+// offline, so the generator synthesizes random routing trees by recursive
+// geometric bisection with exactly the Table 1 sink counts; a full binary
+// topology over S sinks has S-1 internal Steiner nodes, so the number of
+// legal buffer positions is 2S-1, matching Table 1's "Buffer Positions"
+// column for every benchmark. It also builds the H-tree clock networks of
+// footnote 4 and can segmentize long wires to add buffer positions.
+package benchgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"vabuf/internal/geom"
+	"vabuf/internal/rctree"
+)
+
+// Spec describes one synthetic benchmark.
+type Spec struct {
+	Name  string
+	Sinks int
+	Seed  int64
+	// DieSide is the square die edge in µm; 0 selects an area scaled to
+	// the sink count (2 mm at 100 sinks, growing with sqrt(S)).
+	DieSide float64
+	// SinkCapMin/Max bound the uniformly drawn sink loads (fF).
+	SinkCapMin, SinkCapMax float64
+	// RATSpread is the span of uniformly drawn sink required arrival
+	// times: each sink gets a RAT in [-RATSpread, 0] ps. Diverse sink
+	// criticality is what makes merges contested (the r-benchmarks of
+	// [11] carry per-sink RATs); 0 selects the 300 ps default. Set it
+	// negative for exactly-zero RATs at every sink.
+	RATSpread float64
+	// Wire and DriverR configure the electrical environment.
+	Wire    rctree.WireParams
+	DriverR float64
+}
+
+// withDefaults fills zero fields with the repo-wide defaults.
+func (s Spec) withDefaults() Spec {
+	if s.DieSide == 0 {
+		s.DieSide = 2000 * math.Sqrt(float64(s.Sinks)/100)
+	}
+	if s.SinkCapMin == 0 && s.SinkCapMax == 0 {
+		s.SinkCapMin, s.SinkCapMax = 5, 20
+	}
+	if s.RATSpread == 0 {
+		s.RATSpread = 300
+	} else if s.RATSpread < 0 {
+		s.RATSpread = 0
+	}
+	if s.Wire == (rctree.WireParams{}) {
+		s.Wire = rctree.DefaultWire
+	}
+	if s.DriverR == 0 {
+		s.DriverR = 0.3
+	}
+	return s
+}
+
+// presets lists the Table 1 benchmarks. Seeds are fixed so the whole
+// experimental suite is reproducible.
+var presets = []Spec{
+	{Name: "p1", Sinks: 269, Seed: 101},
+	{Name: "p2", Sinks: 603, Seed: 102},
+	{Name: "r1", Sinks: 267, Seed: 201},
+	{Name: "r2", Sinks: 598, Seed: 202},
+	{Name: "r3", Sinks: 862, Seed: 203},
+	{Name: "r4", Sinks: 1903, Seed: 204},
+	{Name: "r5", Sinks: 3101, Seed: 205},
+}
+
+// Presets returns the Table 1 benchmark specs (p1, p2, r1–r5).
+func Presets() []Spec {
+	out := make([]Spec, len(presets))
+	copy(out, presets)
+	return out
+}
+
+// Preset returns the named Table 1 benchmark spec.
+func Preset(name string) (Spec, error) {
+	for _, p := range presets {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("benchgen: unknown preset %q (have p1, p2, r1–r5)", name)
+}
+
+// Random generates a routing tree for the spec: sinks placed uniformly at
+// random on the die, topology built by recursive geometric bisection
+// (split the point set across the wider bounding-box dimension), Steiner
+// points at subset centroids, rectilinear wire lengths.
+func Random(spec Spec) (*rctree.Tree, error) {
+	if spec.Sinks < 1 {
+		return nil, fmt.Errorf("benchgen: need at least 1 sink, got %d", spec.Sinks)
+	}
+	spec = spec.withDefaults()
+	if spec.SinkCapMax < spec.SinkCapMin {
+		return nil, fmt.Errorf("benchgen: sink cap range [%g, %g] inverted",
+			spec.SinkCapMin, spec.SinkCapMax)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	type sinkPt struct {
+		loc geom.Point
+		cap float64
+		rat float64
+	}
+	pts := make([]sinkPt, spec.Sinks)
+	for i := range pts {
+		pts[i] = sinkPt{
+			loc: geom.Point{
+				X: rng.Float64() * spec.DieSide,
+				Y: rng.Float64() * spec.DieSide,
+			},
+			cap: spec.SinkCapMin + rng.Float64()*(spec.SinkCapMax-spec.SinkCapMin),
+			rat: -rng.Float64() * spec.RATSpread,
+		}
+	}
+	centroid := func(ps []sinkPt) geom.Point {
+		var c geom.Point
+		for _, p := range ps {
+			c = c.Add(p.loc)
+		}
+		return c.Scale(1 / float64(len(ps)))
+	}
+	tree := rctree.New(spec.Wire, spec.DriverR, centroid(pts))
+
+	var build func(parent rctree.NodeID, ps []sinkPt)
+	build = func(parent rctree.NodeID, ps []sinkPt) {
+		parentLoc := tree.Node(parent).Loc
+		if len(ps) == 1 {
+			tree.AddSink(parent, ps[0].loc, parentLoc.Manhattan(ps[0].loc), ps[0].cap, ps[0].rat)
+			return
+		}
+		locs := make([]geom.Point, len(ps))
+		for i, p := range ps {
+			locs[i] = p.loc
+		}
+		bb := geom.BoundingBox(locs)
+		if bb.Width() >= bb.Height() {
+			sort.Slice(ps, func(i, j int) bool { return ps[i].loc.X < ps[j].loc.X })
+		} else {
+			sort.Slice(ps, func(i, j int) bool { return ps[i].loc.Y < ps[j].loc.Y })
+		}
+		mid := len(ps) / 2
+		loc := centroid(ps)
+		node := tree.AddSteiner(parent, loc, parentLoc.Manhattan(loc))
+		build(node, ps[:mid])
+		build(node, ps[mid:])
+	}
+	build(tree.Root, pts)
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("benchgen: generated invalid tree: %w", err)
+	}
+	return tree, nil
+}
+
+// Build generates the named preset benchmark.
+func Build(name string) (*rctree.Tree, error) {
+	spec, err := Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	return Random(spec)
+}
+
+// HTree builds a classic H-tree clock network with 4^levels sinks spread
+// over a square die (footnote 4's capacity benchmark is levels = 8, which
+// yields 65,536 sinks). Every node below the driver is a legal buffer
+// position.
+func HTree(levels int, dieSide, sinkCap float64, wire rctree.WireParams, driverR float64) (*rctree.Tree, error) {
+	if levels < 1 || levels > 10 {
+		return nil, fmt.Errorf("benchgen: H-tree levels %d outside [1, 10]", levels)
+	}
+	if dieSide <= 0 {
+		return nil, fmt.Errorf("benchgen: die side %g must be positive", dieSide)
+	}
+	if sinkCap <= 0 {
+		return nil, fmt.Errorf("benchgen: sink cap %g must be positive", sinkCap)
+	}
+	if wire == (rctree.WireParams{}) {
+		wire = rctree.DefaultWire
+	}
+	if driverR <= 0 {
+		driverR = 0.3
+	}
+	center := geom.Point{X: dieSide / 2, Y: dieSide / 2}
+	tree := rctree.New(wire, driverR, center)
+
+	var build func(parent rctree.NodeID, c geom.Point, half float64, level int)
+	build = func(parent rctree.NodeID, c geom.Point, half float64, level int) {
+		parentLoc := tree.Node(parent).Loc
+		wl := parentLoc.Manhattan(c)
+		if level == 0 {
+			tree.AddSink(parent, c, wl, sinkCap, 0)
+			return
+		}
+		node := tree.AddSteiner(parent, c, wl)
+		q := half / 2
+		for _, d := range []geom.Point{{X: -q, Y: q}, {X: q, Y: q}, {X: -q, Y: -q}, {X: q, Y: -q}} {
+			build(node, c.Add(d), q, level-1)
+		}
+	}
+	build(tree.Root, center, dieSide/2, levels)
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("benchgen: generated invalid H-tree: %w", err)
+	}
+	return tree, nil
+}
+
+// Segmentize returns a copy of the tree in which every edge longer than
+// maxLen is split into equal segments by inserting degree-2 Steiner nodes
+// (each a new legal buffer position). Electrical behaviour is unchanged:
+// splitting a π-model wire is Elmore-exact.
+func Segmentize(t *rctree.Tree, maxLen float64) (*rctree.Tree, error) {
+	if maxLen <= 0 {
+		return nil, fmt.Errorf("benchgen: maxLen %g must be positive", maxLen)
+	}
+	out := rctree.New(t.Wire, t.DriverR, t.Node(t.Root).Loc)
+	var emit func(oldID, newParent rctree.NodeID)
+	emit = func(oldID, newParent rctree.NodeID) {
+		n := t.Node(oldID)
+		parent := newParent
+		wl := n.WireLen
+		if segs := int(math.Ceil(wl / maxLen)); segs > 1 {
+			from := t.Node(n.Parent).Loc
+			step := wl / float64(segs)
+			for i := 1; i < segs; i++ {
+				f := float64(i) / float64(segs)
+				loc := geom.Point{
+					X: from.X + f*(n.Loc.X-from.X),
+					Y: from.Y + f*(n.Loc.Y-from.Y),
+				}
+				parent = out.AddSteiner(parent, loc, step)
+			}
+			wl = step
+		}
+		var id rctree.NodeID
+		if n.Kind == rctree.KindSink {
+			id = out.AddSink(parent, n.Loc, wl, n.CapLoad, n.RAT)
+		} else {
+			id = out.AddSteiner(parent, n.Loc, wl)
+		}
+		for _, c := range n.Children {
+			emit(c, id)
+		}
+	}
+	for _, c := range t.Node(t.Root).Children {
+		emit(c, out.Root)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("benchgen: segmentize produced invalid tree: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,296 @@
+package benchgen
+
+import (
+	"math"
+	"testing"
+
+	"vabuf/internal/rctree"
+)
+
+// table1 is the ground truth from the paper's Table 1.
+var table1 = []struct {
+	name      string
+	sinks     int
+	positions int
+}{
+	{"p1", 269, 537},
+	{"p2", 603, 1205},
+	{"r1", 267, 533},
+	{"r2", 598, 1195},
+	{"r3", 862, 1723},
+	{"r4", 1903, 3805},
+	{"r5", 3101, 6201},
+}
+
+func TestPresetsMatchTable1(t *testing.T) {
+	if len(Presets()) != len(table1) {
+		t.Fatalf("preset count = %d", len(Presets()))
+	}
+	for _, row := range table1 {
+		tr, err := Build(row.name)
+		if err != nil {
+			t.Fatalf("%s: %v", row.name, err)
+		}
+		if got := tr.NumSinks(); got != row.sinks {
+			t.Errorf("%s: sinks = %d, want %d", row.name, got, row.sinks)
+		}
+		if got := tr.NumBufferPositions(); got != row.positions {
+			t.Errorf("%s: buffer positions = %d, want %d", row.name, got, row.positions)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", row.name, err)
+		}
+	}
+}
+
+func TestPresetUnknown(t *testing.T) {
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := Build("nope"); err == nil {
+		t.Error("unknown build accepted")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	spec := Spec{Name: "x", Sinks: 50, Seed: 7}
+	a, err := Random(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Loc != b.Nodes[i].Loc || a.Nodes[i].CapLoad != b.Nodes[i].CapLoad {
+			t.Fatalf("node %d differs between runs", i)
+		}
+	}
+	// Different seed ⇒ different placement.
+	c, err := Random(Spec{Name: "x", Sinks: 50, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Nodes {
+		if a.Nodes[i].Loc != c.Nodes[i].Loc {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical trees")
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	if _, err := Random(Spec{Sinks: 0}); err == nil {
+		t.Error("zero sinks accepted")
+	}
+	if _, err := Random(Spec{Sinks: 5, SinkCapMin: 10, SinkCapMax: 5}); err == nil {
+		t.Error("inverted cap range accepted")
+	}
+}
+
+func TestRandomSingleSink(t *testing.T) {
+	tr, err := Random(Spec{Sinks: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumSinks() != 1 || tr.NumBufferPositions() != 1 || tr.Len() != 2 {
+		t.Errorf("single-sink tree: %d nodes, %d positions", tr.Len(), tr.NumBufferPositions())
+	}
+}
+
+func TestRandomGeometrySane(t *testing.T) {
+	spec := Spec{Sinks: 200, Seed: 3}
+	tr, err := Random(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := spec.withDefaults().DieSide
+	bb := tr.BoundingBox()
+	if bb.Max.X > side || bb.Max.Y > side || bb.Min.X < 0 || bb.Min.Y < 0 {
+		t.Errorf("nodes outside die: %+v vs side %g", bb, side)
+	}
+	// Sink caps respect the default range.
+	for _, id := range tr.Sinks() {
+		c := tr.Node(id).CapLoad
+		if c < 5 || c > 20 {
+			t.Errorf("sink %d cap %g outside [5, 20]", id, c)
+		}
+	}
+	// Wire lengths are consistent with node locations (bisection uses
+	// Manhattan distance between tree points).
+	for i := range tr.Nodes {
+		n := &tr.Nodes[i]
+		if n.Parent == rctree.NoNode {
+			continue
+		}
+		want := tr.Node(n.Parent).Loc.Manhattan(n.Loc)
+		if math.Abs(n.WireLen-want) > 1e-9 {
+			t.Fatalf("node %d wirelen %g != Manhattan %g", i, n.WireLen, want)
+		}
+	}
+}
+
+func TestRATSpread(t *testing.T) {
+	// Default: sink RATs spread over [-300, 0].
+	tr, err := Random(Spec{Sinks: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 0.0, -1e18
+	for _, id := range tr.Sinks() {
+		r := tr.Node(id).RAT
+		if r > 0 || r < -300 {
+			t.Fatalf("sink RAT %g outside [-300, 0]", r)
+		}
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if lo > -150 || hi < -10 {
+		t.Errorf("RATs not spread: min %g max %g", lo, hi)
+	}
+	// Negative spread disables RAT diversity entirely.
+	flat, err := Random(Spec{Sinks: 20, Seed: 4, RATSpread: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range flat.Sinks() {
+		if flat.Node(id).RAT != 0 {
+			t.Fatalf("RATSpread<0 left sink RAT %g", flat.Node(id).RAT)
+		}
+	}
+	// Custom spread is respected.
+	narrow, err := Random(Spec{Sinks: 50, Seed: 4, RATSpread: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range narrow.Sinks() {
+		if r := narrow.Node(id).RAT; r < -10 || r > 0 {
+			t.Fatalf("narrow spread violated: %g", r)
+		}
+	}
+}
+
+func TestHTreeCounts(t *testing.T) {
+	for levels := 1; levels <= 4; levels++ {
+		tr, err := HTree(levels, 8000, 10, rctree.WireParams{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSinks := 1
+		for i := 0; i < levels; i++ {
+			wantSinks *= 4
+		}
+		if got := tr.NumSinks(); got != wantSinks {
+			t.Errorf("levels=%d: sinks = %d, want %d", levels, got, wantSinks)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("levels=%d: %v", levels, err)
+		}
+	}
+}
+
+func TestHTreeSymmetric(t *testing.T) {
+	// All sinks of an H-tree are electrically equidistant from the root:
+	// path wire length must be identical for every sink.
+	tr, err := HTree(3, 6400, 10, rctree.WireParams{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathLen := func(id rctree.NodeID) float64 {
+		s := 0.0
+		for id != tr.Root {
+			s += tr.Node(id).WireLen
+			id = tr.Node(id).Parent
+		}
+		return s
+	}
+	sinks := tr.Sinks()
+	want := pathLen(sinks[0])
+	for _, s := range sinks[1:] {
+		if math.Abs(pathLen(s)-want) > 1e-9 {
+			t.Fatalf("sink %d path %g != %g", s, pathLen(s), want)
+		}
+	}
+}
+
+func TestHTreeValidation(t *testing.T) {
+	if _, err := HTree(0, 1000, 10, rctree.WireParams{}, 0); err == nil {
+		t.Error("zero levels accepted")
+	}
+	if _, err := HTree(11, 1000, 10, rctree.WireParams{}, 0); err == nil {
+		t.Error("absurd levels accepted")
+	}
+	if _, err := HTree(2, 0, 10, rctree.WireParams{}, 0); err == nil {
+		t.Error("zero die accepted")
+	}
+	if _, err := HTree(2, 1000, 0, rctree.WireParams{}, 0); err == nil {
+		t.Error("zero sink cap accepted")
+	}
+}
+
+func TestSegmentizePreservesElmore(t *testing.T) {
+	tr, err := Random(Spec{Sinks: 40, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := Segmentize(tr, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.NumBufferPositions() <= tr.NumBufferPositions() {
+		t.Errorf("segmentize did not add positions: %d vs %d",
+			seg.NumBufferPositions(), tr.NumBufferPositions())
+	}
+	if seg.NumSinks() != tr.NumSinks() {
+		t.Errorf("sink count changed: %d vs %d", seg.NumSinks(), tr.NumSinks())
+	}
+	if math.Abs(seg.TotalWireLength()-tr.TotalWireLength()) > 1e-6 {
+		t.Errorf("wire length changed: %g vs %g", seg.TotalWireLength(), tr.TotalWireLength())
+	}
+	e1, err := rctree.Evaluate(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := rctree.Evaluate(seg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e1.RootRAT-e2.RootRAT) > 1e-6 {
+		t.Errorf("segmentize changed Elmore RAT: %g vs %g", e1.RootRAT, e2.RootRAT)
+	}
+	// No edge longer than maxLen (tolerate fp slop).
+	for i := range seg.Nodes {
+		if seg.Nodes[i].WireLen > 200+1e-9 {
+			t.Fatalf("edge %d longer than maxLen: %g", i, seg.Nodes[i].WireLen)
+		}
+	}
+}
+
+func TestSegmentizeNoopForShortWires(t *testing.T) {
+	tr, err := Random(Spec{Sinks: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := Segmentize(tr, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Len() != tr.Len() {
+		t.Errorf("noop segmentize changed node count: %d vs %d", seg.Len(), tr.Len())
+	}
+	if _, err := Segmentize(tr, 0); err == nil {
+		t.Error("zero maxLen accepted")
+	}
+}

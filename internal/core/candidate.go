@@ -1,0 +1,87 @@
+// Package core implements the paper's contribution: dynamic-programming
+// buffer insertion over RC routing trees with candidate solutions carried
+// as first-order canonical forms, the two-parameter (2P) pruning rule of
+// §2.3 with its linear-time pruning and merging, the four-parameter (4P)
+// baseline rule of §2.2 ([7] — the DATE 2005 algorithm), and the classic
+// deterministic van Ginneken algorithm as the zero-variation special case.
+package core
+
+import (
+	"vabuf/internal/rctree"
+	"vabuf/internal/variation"
+)
+
+// opKind records how a candidate was produced, for backtracking.
+type opKind uint8
+
+const (
+	opLeaf opKind = iota
+	opWire
+	opBuffer
+	opMerge
+)
+
+// Candidate is one (L, T) solution at a tree node. L is the downstream
+// loading capacitance and T the required arrival time, both first-order
+// canonical forms (deterministic candidates simply have no variation
+// terms). Candidates form a DAG through pred/pred2 used to backtrack the
+// chosen buffer assignment.
+type Candidate struct {
+	L, T variation.Form
+
+	node rctree.NodeID
+	op   opKind
+	// buf is the library index of the buffer inserted at node (opBuffer
+	// only). wire is the wire-library choice for the edge node→parent
+	// (opWire with wire sizing enabled; -1 otherwise).
+	buf   int16
+	wire  int16
+	pred  *Candidate
+	pred2 *Candidate
+
+	// Cached standard deviations, filled only when the active pruning rule
+	// needs them (2P with pbar > 0.5, 4P, and final root selection).
+	sigmaL, sigmaT float64
+}
+
+// MeanL and MeanT are the candidate ordering keys of the 2P rule at
+// pbar = 0.5 (Lemma 4: mean order ⇔ probability order).
+func (c *Candidate) MeanL() float64 { return c.L.Nominal }
+
+// MeanT returns the mean required arrival time.
+func (c *Candidate) MeanT() float64 { return c.T.Nominal }
+
+// fillSigmas caches the standard deviations of both forms.
+func (c *Candidate) fillSigmas(space *variation.Space) {
+	c.sigmaL = c.L.Sigma(space)
+	c.sigmaT = c.T.Sigma(space)
+}
+
+// collectDecisions walks the provenance DAG and records every buffer
+// decision into bufs and (when non-nil) every wire-sizing decision into
+// wires. The walk is iterative to stay safe on very deep candidate chains
+// (segmentized wires, large H-trees).
+func (c *Candidate) collectDecisions(bufs map[rctree.NodeID]int, wires map[rctree.NodeID]int) {
+	stack := []*Candidate{c}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for cur != nil {
+			switch cur.op {
+			case opLeaf:
+				cur = nil
+			case opWire:
+				if wires != nil && cur.wire >= 0 {
+					wires[cur.node] = int(cur.wire)
+				}
+				cur = cur.pred
+			case opBuffer:
+				bufs[cur.node] = int(cur.buf)
+				cur = cur.pred
+			case opMerge:
+				stack = append(stack, cur.pred2)
+				cur = cur.pred
+			}
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"vabuf/internal/rctree"
+	"vabuf/internal/variation"
+)
+
+// engine carries the per-run state of the dynamic program.
+type engine struct {
+	tree    *rctree.Tree
+	opts    Options
+	space   *variation.Space
+	prn     *pruner
+	stats   Stats
+	maxCand int
+	start   time.Time
+}
+
+// Insert runs dynamic-programming buffer insertion on the tree and returns
+// the chosen assignment together with the root RAT distribution. With a
+// nil Options.Model it is exactly the deterministic van Ginneken algorithm
+// over B buffer types; with a model it is the variation-aware algorithm of
+// §4 under the pruning rule selected in the options.
+func Insert(tree *rctree.Tree, opts Options) (*Result, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	if tree.NumSinks() == 0 {
+		return nil, fmt.Errorf("core: tree has no sinks")
+	}
+	e := &engine{
+		tree:    tree,
+		opts:    o,
+		maxCand: o.MaxCandidates,
+		start:   time.Now(),
+	}
+	if o.Model != nil {
+		e.space = o.Model.Space
+	} else {
+		e.space = variation.NewSpace()
+	}
+	e.prn = newPruner(e.space, o, &e.stats)
+	if o.Timeout > 0 {
+		e.prn.deadline = e.start.Add(o.Timeout)
+	}
+
+	lists := make([]polarityLists, len(tree.Nodes))
+	for _, id := range tree.PostOrder() {
+		if o.Timeout > 0 && time.Since(e.start) > o.Timeout {
+			return nil, fmt.Errorf("%w after %d nodes", ErrTimeout, e.stats.Nodes)
+		}
+		node := tree.Node(id)
+		var pl polarityLists
+		switch node.Kind {
+		case rctree.KindSink:
+			// A sink must receive the true polarity.
+			pl[0] = []*Candidate{e.leaf(id, node)}
+		default:
+			first := true
+			for _, child := range node.Children {
+				var wired polarityLists
+				for p := 0; p < 2; p++ {
+					wired[p] = e.wireUp(id, child, lists[child][p])
+				}
+				lists[child] = polarityLists{} // release early
+				if first {
+					pl = wired
+					first = false
+					continue
+				}
+				// Subtrees sharing a driving point must require the same
+				// polarity; a polarity unavailable on either side dies.
+				for p := 0; p < 2; p++ {
+					if len(pl[p]) == 0 || len(wired[p]) == 0 {
+						pl[p] = nil
+						continue
+					}
+					merged, err := e.merge(id, pl[p], wired[p])
+					if err != nil {
+						return nil, err
+					}
+					pl[p] = e.prn.prune(merged)
+				}
+			}
+		}
+		if node.BufferOK {
+			raw := e.addBuffers(id, node, pl)
+			if err := e.checkBudget(len(raw[0]) + len(raw[1])); err != nil {
+				return nil, err
+			}
+			for p := 0; p < 2; p++ {
+				pl[p] = e.prn.prune(raw[p])
+			}
+		}
+		if e.prn.timedOut {
+			return nil, fmt.Errorf("%w during pruning after %d nodes", ErrTimeout, e.stats.Nodes)
+		}
+		total := len(pl[0]) + len(pl[1])
+		if err := e.checkBudget(total); err != nil {
+			return nil, err
+		}
+		if total > e.stats.PeakList {
+			e.stats.PeakList = total
+		}
+		e.stats.Nodes++
+		lists[id] = pl
+	}
+	return e.selectRoot(lists[tree.Root][0])
+}
+
+// polarityLists holds the candidate lists per required signal polarity:
+// index 0 is the true signal, index 1 the inverted one. Without inverting
+// buffers in the library, list 1 stays empty everywhere and the engine
+// behaves exactly as the classic single-list DP.
+type polarityLists [2][]*Candidate
+
+// leaf builds the sink candidate (eq. "L = CapLoad, T = RAT").
+func (e *engine) leaf(id rctree.NodeID, node *rctree.Node) *Candidate {
+	c := &Candidate{
+		L:    variation.Const(node.CapLoad),
+		T:    variation.Const(node.RAT),
+		node: id,
+		op:   opLeaf,
+	}
+	e.stats.Generated++
+	return c
+}
+
+// wireUp propagates a candidate list along the edge child → parent
+// (eq. 25–26 / 33–34). Without wire sizing the transformation is
+// order-preserving, so a pruned, sorted input stays pruned and sorted;
+// with a wire library every choice is generated and the union pruned.
+func (e *engine) wireUp(parent, child rctree.NodeID, list []*Candidate) []*Candidate {
+	l := e.tree.Node(child).WireLen
+	if l == 0 {
+		return list
+	}
+	if len(e.opts.WireLibrary) == 0 {
+		return e.wireChoice(child, list, e.tree.Wire, -1)
+	}
+	out := make([]*Candidate, 0, len(list)*len(e.opts.WireLibrary))
+	for wi, wc := range e.opts.WireLibrary {
+		out = append(out, e.wireChoice(child, list, wc.Params, int16(wi))...)
+	}
+	return e.prn.prune(out)
+}
+
+// wireChoice applies one wire option along the edge child → parent. The
+// candidate records the child node so backtracking can attribute the
+// sizing decision to its edge.
+func (e *engine) wireChoice(child rctree.NodeID, list []*Candidate, wp rctree.WireParams, wi int16) []*Candidate {
+	l := e.tree.Node(child).WireLen
+	halfRC := 0.5 * wp.R * wp.C * l * l
+	out := make([]*Candidate, len(list))
+	for i, s := range list {
+		nc := &Candidate{
+			L:    s.L.Shift(wp.C * l),
+			T:    s.T.AXPY(-wp.R*l, s.L).Shift(-halfRC),
+			node: child,
+			op:   opWire,
+			wire: wi,
+			pred: s,
+		}
+		if e.prn.needSigmas() {
+			nc.fillSigmas(e.space)
+		}
+		out[i] = nc
+	}
+	e.stats.Generated += int64(len(list))
+	return out
+}
+
+// deviation returns the relative device deviation form at a site, or the
+// zero form for deterministic runs.
+func (e *engine) deviation(id rctree.NodeID, node *rctree.Node) variation.Form {
+	if e.opts.Model == nil {
+		return variation.Form{}
+	}
+	return e.opts.Model.Deviation(int(id), node.Loc)
+}
+
+// addBuffers augments the polarity lists with one buffered candidate per
+// (existing candidate, buffer type) pair (eq. 27–28 / 35–36). Both C_b
+// and T_b of a buffer at one site share the same underlying deviation
+// (they are driven by the same device's process parameters), per
+// eq. 23–24. A non-inverting buffer keeps the candidate's required
+// polarity; an inverter flips it.
+func (e *engine) addBuffers(id rctree.NodeID, node *rctree.Node, pl polarityLists) polarityLists {
+	dev := e.deviation(id, node)
+	out := pl
+	for bi, b := range e.opts.Library {
+		cbForm := variation.Const(b.Cb0).Add(dev.Scale(b.Cb0))
+		tbForm := variation.Const(b.Tb0).Add(dev.Scale(b.Tb0))
+		for p := 0; p < 2; p++ {
+			target := p
+			if b.Inverting {
+				target = 1 - p
+			}
+			// Iterate the snapshot lists in pl, never the growing out
+			// lists, so buffers do not chain at one position.
+			for _, s := range pl[p] {
+				// Drive-capability constraint: a buffer may not drive
+				// more than its MaxLoad (checked on nominal load).
+				if b.MaxLoad > 0 && s.L.Nominal > b.MaxLoad {
+					continue
+				}
+				nc := &Candidate{
+					L:    cbForm,
+					T:    s.T.Sub(tbForm).AXPY(-b.Rb, s.L),
+					node: id,
+					op:   opBuffer,
+					buf:  int16(bi),
+					pred: s,
+				}
+				if e.prn.needSigmas() {
+					nc.fillSigmas(e.space)
+				}
+				out[target] = append(out[target], nc)
+				e.stats.Generated++
+			}
+		}
+	}
+	return out
+}
+
+// checkBudget enforces the candidate cap.
+func (e *engine) checkBudget(n int) error {
+	if e.maxCand > 0 && n > e.maxCand {
+		return e.capacityErr(n)
+	}
+	return nil
+}
+
+func (e *engine) capacityErr(n int) error {
+	total := 0
+	if e.tree != nil {
+		total = e.tree.Len()
+	}
+	return fmt.Errorf("%w: %d candidates > limit %d (rule %v, node %d of %d)",
+		ErrCapacity, n, e.maxCand, e.opts.Rule, e.stats.Nodes, total)
+}
+
+// selectRoot applies the driver delay to every surviving root candidate
+// and picks the one maximizing the objective: nominal RAT for
+// deterministic runs, the SelectQuantile RAT quantile (e.g. the 95%-yield
+// RAT at 0.05) for variation-aware runs.
+func (e *engine) selectRoot(rootList []*Candidate) (*Result, error) {
+	if len(rootList) == 0 {
+		return nil, fmt.Errorf("core: no true-polarity candidates survived to the root" +
+			" (an inverter-only library cannot always deliver even inversion counts)")
+	}
+	deterministic := e.opts.Model == nil
+	var best *Candidate
+	var bestRAT variation.Form
+	bestObj := 0.0
+	for _, c := range rootList {
+		rat := c.T.AXPY(-e.tree.DriverR, c.L)
+		obj := rat.Nominal
+		if !deterministic {
+			obj = rat.Quantile(e.opts.SelectQuantile, e.space)
+		}
+		if best == nil || obj > bestObj {
+			best = c
+			bestObj = obj
+			bestRAT = rat
+		}
+	}
+	assignment := make(map[rctree.NodeID]int)
+	var wires map[rctree.NodeID]int
+	if len(e.opts.WireLibrary) > 0 {
+		wires = make(map[rctree.NodeID]int)
+	}
+	best.collectDecisions(assignment, wires)
+	e.stats.Elapsed = time.Since(e.start)
+	return &Result{
+		Assignment:     assignment,
+		WireAssignment: wires,
+		RAT:            bestRAT,
+		Mean:           bestRAT.Nominal,
+		Sigma:          bestRAT.Sigma(e.space),
+		Objective:      bestObj,
+		NumBuffers:     len(assignment),
+		RootCandidates: len(rootList),
+		Stats:          e.stats,
+	}, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"vabuf/internal/rctree"
+	"vabuf/internal/variation"
+)
+
+// mergeCand combines one candidate from each subtree at node (eq. 29–30 /
+// eq. 37–38): loads add, RATs take the statistical minimum.
+func (e *engine) mergeCand(node rctree.NodeID, a, b *Candidate) *Candidate {
+	res := variation.Min(a.T, b.T, e.space)
+	c := &Candidate{
+		L:     a.L.Add(b.L),
+		T:     res.Form,
+		node:  node,
+		op:    opMerge,
+		pred:  a,
+		pred2: b,
+	}
+	if e.prn.needSigmas() {
+		c.fillSigmas(e.space)
+	}
+	e.stats.Generated++
+	return c
+}
+
+// mergeLinear is the Figure 1 merge: both inputs are sorted ascending in
+// mean L and mean T (the invariant the 2P prune sweep establishes), so a
+// merge-sort-like walk emits at most n+m-1 non-dominated combinations.
+// The pointer whose candidate currently limits the merged RAT (the smaller
+// mean T) advances, because only a better version of that side can improve
+// the combination.
+func (e *engine) mergeLinear(node rctree.NodeID, a, b []*Candidate) ([]*Candidate, error) {
+	out := make([]*Candidate, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		out = append(out, e.mergeCand(node, a[i], b[j]))
+		// Advance the side with the smaller mean T; advance both on ties.
+		switch {
+		case a[i].T.Nominal < b[j].T.Nominal:
+			i++
+		case a[i].T.Nominal > b[j].T.Nominal:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	if err := e.checkBudget(len(out)); err != nil {
+		return nil, err
+	}
+	e.stats.Merges++
+	return out, nil
+}
+
+// mergeCross is the O(n·m) cross-product merge the 4P partial order forces
+// (§2.2): without a strict ordering no combination can be skipped.
+func (e *engine) mergeCross(node rctree.NodeID, a, b []*Candidate) ([]*Candidate, error) {
+	if e.maxCand > 0 && len(a)*len(b) > e.maxCand {
+		return nil, e.capacityErr(len(a) * len(b))
+	}
+	out := make([]*Candidate, 0, len(a)*len(b))
+	for _, ca := range a {
+		for _, cb := range b {
+			out = append(out, e.mergeCand(node, ca, cb))
+		}
+	}
+	e.stats.Merges++
+	return out, nil
+}
+
+// merge dispatches on the active rule.
+func (e *engine) merge(node rctree.NodeID, a, b []*Candidate) ([]*Candidate, error) {
+	if e.opts.Rule == Rule4P {
+		return e.mergeCross(node, a, b)
+	}
+	return e.mergeLinear(node, a, b)
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"vabuf/internal/variation"
+)
+
+func testEngine(rule Rule) *engine {
+	opts := Options{Rule: rule, PbarL: 0.5, PbarT: 0.5, FourP: DefaultFourP()}
+	e := &engine{opts: opts, space: variation.NewSpace()}
+	e.prn = newPruner(e.space, opts, &e.stats)
+	return e
+}
+
+// TestLinearMergeFigure1 reproduces the mechanism of Figure 1: two sorted
+// three-candidate lists merge in one linear pass into a sorted,
+// non-dominated list of at most n+m-1 candidates.
+func TestLinearMergeFigure1(t *testing.T) {
+	e := testEngine(Rule2P)
+	// Strictly sorted in both L and T (as in the figure).
+	a := []*Candidate{mkCand(1, -30), mkCand(2, -20), mkCand(3, -10)}
+	b := []*Candidate{mkCand(1.5, -25), mkCand(2.5, -15), mkCand(4, -5)}
+	out, err := e.mergeLinear(0, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) > len(a)+len(b)-1 {
+		t.Fatalf("merge emitted %d candidates, linear bound is %d", len(out), len(a)+len(b)-1)
+	}
+	out = e.prn.prune(out)
+	// Loads add; RATs are the pairwise min.
+	for _, c := range out {
+		if c.L.Nominal < 2.5 || c.L.Nominal > 7 {
+			t.Errorf("merged load %g outside pairwise-sum range", c.L.Nominal)
+		}
+		if c.op != opMerge || c.pred == nil || c.pred2 == nil {
+			t.Error("merge provenance missing")
+		}
+		if c.T.Nominal != min(c.pred.T.Nominal, c.pred2.T.Nominal) {
+			t.Errorf("merged T %g != min(%g, %g)", c.T.Nominal, c.pred.T.Nominal, c.pred2.T.Nominal)
+		}
+	}
+	// Result is a strict staircase.
+	for i := 1; i < len(out); i++ {
+		if !(out[i].MeanL() > out[i-1].MeanL() && out[i].MeanT() > out[i-1].MeanT()) {
+			t.Error("merged+pruned output not strictly sorted")
+		}
+	}
+	// The best-RAT combination must survive: max over pairs of min(Ta, Tb)
+	// subject to it being on the staircase.
+	bestT := out[len(out)-1].T.Nominal
+	wantBest := -10.0 // min(-10, -5) from the two best-T inputs
+	if bestT != wantBest {
+		t.Errorf("best merged T = %g, want %g", bestT, wantBest)
+	}
+}
+
+// TestMergeLinearEquivalentToCrossProduct verifies on random sorted
+// staircase lists that linear merging (after pruning) keeps exactly the
+// same non-dominated set as the full cross product (after pruning) — the
+// optimality argument behind the O(n+m) merge.
+func TestMergeLinearEquivalentToCrossProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		e := testEngine(Rule2P)
+		mk := func(n int) []*Candidate {
+			list := make([]*Candidate, n)
+			for i := range list {
+				list[i] = mkCand(rng.Float64()*50, -rng.Float64()*50)
+			}
+			return e.prn.prune(list)
+		}
+		a := mk(1 + rng.Intn(12))
+		b := mk(1 + rng.Intn(12))
+		lin, err := e.mergeLinear(0, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin = e.prn.prune(lin)
+		cross, err := e.mergeCross(0, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cross = e.prn.prune(cross)
+		if len(lin) != len(cross) {
+			t.Fatalf("trial %d: linear kept %d, cross kept %d", trial, len(lin), len(cross))
+		}
+		for i := range lin {
+			if lin[i].L.Nominal != cross[i].L.Nominal || lin[i].T.Nominal != cross[i].T.Nominal {
+				t.Fatalf("trial %d: staircase differs at %d: (%g,%g) vs (%g,%g)",
+					trial, i,
+					lin[i].L.Nominal, lin[i].T.Nominal,
+					cross[i].L.Nominal, cross[i].T.Nominal)
+			}
+		}
+	}
+}
+
+func TestMergeCrossSize(t *testing.T) {
+	e := testEngine(Rule4P)
+	a := []*Candidate{mkCand(1, -1), mkCand(2, -2)}
+	b := []*Candidate{mkCand(3, -3), mkCand(4, -4), mkCand(5, -5)}
+	out, err := e.mergeCross(0, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 6 {
+		t.Errorf("cross product size = %d, want 6", len(out))
+	}
+}
+
+func TestMergeCrossCapacity(t *testing.T) {
+	e := testEngine(Rule4P)
+	e.maxCand = 5
+	a := []*Candidate{mkCand(1, -1), mkCand(2, -2), mkCand(3, -3)}
+	b := []*Candidate{mkCand(4, -4), mkCand(5, -5)}
+	if _, err := e.mergeCross(0, a, b); err == nil {
+		t.Error("capacity-exceeding cross product accepted")
+	}
+}
+
+func TestMergeStatisticalCorrelation(t *testing.T) {
+	// Merging correlated subtrees must use the correlation-aware min: with
+	// perfectly correlated equal-variance inputs, min is exactly the
+	// smaller input (no Clark penalty).
+	e := testEngine(Rule2P)
+	src := e.space.Add(variation.ClassInterDie, 1, "G")
+	a := &Candidate{
+		L: variation.Const(5),
+		T: variation.NewForm(-10, []variation.Term{{ID: src, Coef: 2}}),
+	}
+	b := &Candidate{
+		L: variation.Const(5),
+		T: variation.NewForm(-12, []variation.Term{{ID: src, Coef: 2}}),
+	}
+	m := e.mergeCand(0, a, b)
+	if m.T.Nominal != -12 {
+		t.Errorf("correlated min mean = %g, want -12 exactly", m.T.Nominal)
+	}
+	if m.L.Nominal != 10 {
+		t.Errorf("merged load = %g, want 10", m.L.Nominal)
+	}
+	// Independent inputs do get the Clark penalty (mean below both).
+	c := &Candidate{
+		L: variation.Const(5),
+		T: variation.NewForm(-10, []variation.Term{{ID: e.space.Add(variation.ClassRandom, 1, "x"), Coef: 2}}),
+	}
+	d := &Candidate{
+		L: variation.Const(5),
+		T: variation.NewForm(-10, []variation.Term{{ID: e.space.Add(variation.ClassRandom, 1, "y"), Coef: 2}}),
+	}
+	m2 := e.mergeCand(0, c, d)
+	if !(m2.T.Nominal < -10) {
+		t.Errorf("independent equal-mean min = %g, want below -10", m2.T.Nominal)
+	}
+}
+
+// TestMergePreservesBestUpperBound: the staircase after merge+prune always
+// contains a candidate achieving the best possible merged T.
+func TestMergePreservesBestUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		e := testEngine(Rule2P)
+		mk := func(n int) []*Candidate {
+			list := make([]*Candidate, n)
+			for i := range list {
+				list[i] = mkCand(rng.Float64()*40, -rng.Float64()*60)
+			}
+			return e.prn.prune(list)
+		}
+		a := mk(1 + rng.Intn(10))
+		b := mk(1 + rng.Intn(10))
+		best := min(a[len(a)-1].T.Nominal, b[len(b)-1].T.Nominal)
+		out, err := e.mergeLinear(0, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = e.prn.prune(out)
+		got := make([]float64, len(out))
+		for i, c := range out {
+			got[i] = c.T.Nominal
+		}
+		sort.Float64s(got)
+		if got[len(got)-1] != best {
+			t.Fatalf("trial %d: best merged T %g, want %g", trial, got[len(got)-1], best)
+		}
+	}
+}

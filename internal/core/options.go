@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vabuf/internal/device"
+	"vabuf/internal/rctree"
+	"vabuf/internal/variation"
+)
+
+// Rule selects the dominance/pruning rule for variation-aware runs.
+type Rule uint8
+
+const (
+	// Rule2P is the paper's two-parameter rule (§2.3): strict ordering by
+	// probability thresholds pbar_L, pbar_T, giving linear-time pruning and
+	// merging.
+	Rule2P Rule = iota
+	// Rule4P is the four-parameter quantile rule of [7] (§2.2): a partial
+	// order, requiring O(n·m) merging and O(N²) pairwise pruning.
+	Rule4P
+)
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	switch r {
+	case Rule2P:
+		return "2P"
+	case Rule4P:
+		return "4P"
+	default:
+		return fmt.Sprintf("rule(%d)", uint8(r))
+	}
+}
+
+// FourPParams are the quantile levels of the 4P rule (eq. 1–3):
+// 0 <= AlphaL < AlphaU <= 1 for loading, 0 <= BetaL < BetaU <= 1 for RAT.
+type FourPParams struct {
+	AlphaL, AlphaU float64
+	BetaL, BetaU   float64
+}
+
+// DefaultFourP mirrors a designer accepting 90% certainty bands.
+func DefaultFourP() FourPParams {
+	return FourPParams{AlphaL: 0.05, AlphaU: 0.95, BetaL: 0.05, BetaU: 0.95}
+}
+
+func (p FourPParams) validate() error {
+	if !(0 <= p.AlphaL && p.AlphaL < p.AlphaU && p.AlphaU <= 1) {
+		return fmt.Errorf("core: 4P alpha levels (%g, %g) invalid", p.AlphaL, p.AlphaU)
+	}
+	if !(0 <= p.BetaL && p.BetaL < p.BetaU && p.BetaU <= 1) {
+		return fmt.Errorf("core: 4P beta levels (%g, %g) invalid", p.BetaL, p.BetaU)
+	}
+	return nil
+}
+
+// Options configures one buffer-insertion run.
+type Options struct {
+	// Library is the buffer library (B types). Required.
+	Library device.Library
+	// Model supplies the variation sources; nil runs the deterministic
+	// van Ginneken algorithm (the NOM baseline).
+	Model *variation.Model
+	// WireLibrary enables simultaneous buffer insertion and wire sizing
+	// (the extension of [8]): each edge independently picks one of these
+	// routing choices instead of the tree's fixed wire parasitics. Empty
+	// means no wire sizing. Complexity grows to O(B·W·N²).
+	WireLibrary []rctree.WireChoice
+	// Rule selects 2P (default) or 4P pruning for variation-aware runs.
+	Rule Rule
+	// PbarL, PbarT are the 2P thresholds of eq. 6–7, in [0.5, 1). Zero
+	// values default to 0.5, where pruning is exactly the mean order
+	// (Theorem 1).
+	PbarL, PbarT float64
+	// FourP configures the 4P rule; zero value takes DefaultFourP.
+	FourP FourPParams
+	// SelectQuantile picks the root solution maximizing this RAT quantile
+	// for variation-aware runs; zero defaults to 0.05 (the 95%-yield RAT).
+	// Deterministic runs always maximize the nominal RAT.
+	SelectQuantile float64
+	// MaxCandidates caps the candidate list length at any node (and the
+	// cross-product size for 4P merging). Exceeding it aborts with
+	// ErrCapacity — the "exceeds memory capacity" outcome of Table 2.
+	// Zero means no cap.
+	MaxCandidates int
+	// Timeout aborts the run with ErrTimeout when exceeded — the
+	// "tolerable time limit" outcome of Table 2. Zero means no limit.
+	Timeout time.Duration
+}
+
+// Sentinel errors for capacity-limited runs (Table 2's "-" entries).
+var (
+	// ErrCapacity reports that a candidate list or merge cross-product
+	// outgrew Options.MaxCandidates.
+	ErrCapacity = errors.New("core: candidate capacity exceeded")
+	// ErrTimeout reports that the run exceeded Options.Timeout.
+	ErrTimeout = errors.New("core: time limit exceeded")
+)
+
+func (o *Options) withDefaults() (Options, error) {
+	opts := *o
+	if err := opts.Library.Validate(); err != nil {
+		return opts, err
+	}
+	if opts.PbarL == 0 {
+		opts.PbarL = 0.5
+	}
+	if opts.PbarT == 0 {
+		opts.PbarT = 0.5
+	}
+	if opts.PbarL < 0.5 || opts.PbarL >= 1 || opts.PbarT < 0.5 || opts.PbarT >= 1 {
+		return opts, fmt.Errorf("core: pbar (%g, %g) outside [0.5, 1)", opts.PbarL, opts.PbarT)
+	}
+	if opts.FourP == (FourPParams{}) {
+		opts.FourP = DefaultFourP()
+	}
+	if err := opts.FourP.validate(); err != nil {
+		return opts, err
+	}
+	if opts.SelectQuantile == 0 {
+		opts.SelectQuantile = 0.05
+	}
+	if opts.SelectQuantile < 0 || opts.SelectQuantile > 1 {
+		return opts, fmt.Errorf("core: SelectQuantile %g outside [0, 1]", opts.SelectQuantile)
+	}
+	if opts.MaxCandidates < 0 {
+		return opts, fmt.Errorf("core: negative MaxCandidates %d", opts.MaxCandidates)
+	}
+	for i, wc := range opts.WireLibrary {
+		if wc.Params.R <= 0 || wc.Params.C <= 0 {
+			return opts, fmt.Errorf("core: wire choice %d (%q) has non-positive parasitics %+v",
+				i, wc.Name, wc.Params)
+		}
+	}
+	return opts, nil
+}
+
+// Stats instruments one run: the counters behind Table 2 and Figure 5.
+type Stats struct {
+	// Generated counts every candidate ever created; Pruned counts the
+	// ones dominance removed.
+	Generated, Pruned int64
+	// PeakList is the largest candidate list observed at any node.
+	PeakList int
+	// Merges counts two-list merge operations.
+	Merges int64
+	// Nodes is the number of tree nodes processed.
+	Nodes int
+	// Elapsed is the wall-clock runtime of the DP.
+	Elapsed time.Duration
+}
+
+// Result is the outcome of a successful insertion.
+type Result struct {
+	// Assignment maps node IDs to buffer library indices.
+	Assignment map[rctree.NodeID]int
+	// WireAssignment maps a node to the WireLibrary index chosen for the
+	// edge from that node up to its parent. Nil when wire sizing was off.
+	WireAssignment map[rctree.NodeID]int
+	// RAT is the root required arrival time as a canonical form, including
+	// the driver delay.
+	RAT variation.Form
+	// Mean and Sigma summarize RAT's normal distribution.
+	Mean, Sigma float64
+	// Objective is the value the root selection maximized (nominal RAT for
+	// deterministic runs, the SelectQuantile RAT quantile otherwise).
+	Objective float64
+	// NumBuffers is len(Assignment).
+	NumBuffers int
+	// RootCandidates is the number of non-dominated solutions that
+	// survived to the root.
+	RootCandidates int
+	// Stats carries the instrumentation counters.
+	Stats Stats
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"vabuf/internal/stats"
+	"vabuf/internal/variation"
+)
+
+// pruner prunes a candidate list in place according to the active rule.
+type pruner struct {
+	space *variation.Space
+	rule  Rule
+	// 2P thresholds; exactMeans is the pbar == 0.5 fast path where the
+	// probability order equals the mean order (Lemma 4).
+	pbarL, pbarT float64
+	exactMeans   bool
+	// zL, zT are the standard-normal quantiles of pbarL, pbarT (the t̄ of
+	// Theorem 2), cached for the pbar > 0.5 dominance test.
+	zL, zT float64
+	// 4P quantile z-values precomputed from FourPParams.
+	zAlphaL, zAlphaU, zBetaL, zBetaU float64
+	// deadline bounds the pairwise 4P prune, which is quadratic and can
+	// dwarf the per-node timeout granularity of the engine. Zero means no
+	// deadline. timedOut is latched when the deadline fires mid-prune.
+	deadline time.Time
+	timedOut bool
+	// stats sink
+	stats *Stats
+}
+
+func newPruner(space *variation.Space, opts Options, st *Stats) *pruner {
+	p := &pruner{
+		space: space,
+		rule:  opts.Rule,
+		pbarL: opts.PbarL,
+		pbarT: opts.PbarT,
+		stats: st,
+	}
+	p.exactMeans = opts.PbarL == 0.5 && opts.PbarT == 0.5
+	if !p.exactMeans {
+		p.zL = stats.Quantile(opts.PbarL)
+		p.zT = stats.Quantile(opts.PbarT)
+	}
+	if opts.Rule == Rule4P {
+		p.zAlphaL = stats.Quantile(opts.FourP.AlphaL)
+		p.zAlphaU = stats.Quantile(opts.FourP.AlphaU)
+		p.zBetaL = stats.Quantile(opts.FourP.BetaL)
+		p.zBetaU = stats.Quantile(opts.FourP.BetaU)
+	}
+	return p
+}
+
+// needSigmas reports whether candidates must carry cached standard
+// deviations for this pruner.
+func (p *pruner) needSigmas() bool {
+	return p.rule == Rule4P || !p.exactMeans
+}
+
+// sortByMean orders candidates ascending by mean loading, breaking ties by
+// descending mean RAT so that the sweep keeps the better-T candidate of a
+// tie first.
+func sortByMean(list []*Candidate) {
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].L.Nominal != list[j].L.Nominal {
+			return list[i].L.Nominal < list[j].L.Nominal
+		}
+		return list[i].T.Nominal > list[j].T.Nominal
+	})
+}
+
+// prune removes dominated candidates and returns the surviving list,
+// sorted ascending by mean L (and, as a consequence of the sweep,
+// ascending in mean T).
+func (p *pruner) prune(list []*Candidate) []*Candidate {
+	if len(list) <= 1 {
+		return list
+	}
+	if p.rule == Rule4P {
+		return p.prune4P(list)
+	}
+	return p.prune2P(list)
+}
+
+// prune2P is the paper's sweep (§2.3): sort by mean L, then drop every
+// candidate some kept candidate dominates. At pbar = 0.5 dominance is
+// exactly the mean order (Lemma 4), so testing the last-kept candidate is
+// exact and the sweep is the linear deterministic van Ginneken prune
+// (Theorem 1). For pbar > 0.5 the kept set is no longer a strict mean
+// staircase; a candidate can only be dominated by a kept candidate with a
+// strictly larger mean T (Lemma 4 again), so the sweep tests exactly
+// those. In practice solutions from the same subtree are highly
+// correlated, dominance probabilities are extreme, and the survivors stay
+// close to the pbar = 0.5 staircase (§2.3's discussion of Figure 2).
+func (p *pruner) prune2P(list []*Candidate) []*Candidate {
+	sortByMean(list)
+	out := list[:0]
+	for _, c := range list {
+		if p.exactMeans {
+			if n := len(out); n > 0 && p.dominates2P(out[n-1], c) {
+				p.stats.Pruned++
+				continue
+			}
+			out = append(out, c)
+			continue
+		}
+		dominated := false
+		for i := len(out) - 1; i >= 0; i-- {
+			k := out[i]
+			if k.T.Nominal <= c.T.Nominal {
+				// Cannot dominate at pbar > 0.5 (Lemma 4).
+				continue
+			}
+			if p.dominates2P(k, c) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			p.stats.Pruned++
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// dominates2P reports whether a dominates b under eq. 6–7, assuming
+// a.MeanL <= b.MeanL from the sort. Thresholds are tested with >= so that
+// exact duplicates (probability exactly 0.5) are treated as redundant.
+func (p *pruner) dominates2P(a, b *Candidate) bool {
+	if p.exactMeans {
+		// Lemma 4: P(L_a < L_b) >= 0.5 ⇔ mean order; the sort guarantees
+		// the L condition, so only the T condition remains.
+		return b.T.Nominal <= a.T.Nominal
+	}
+	// P(X > Y) >= pbar ⇔ mean gap >= z(pbar)·sigma(X-Y). The exact sigma
+	// needs the covariance of the two forms, but sigma(X-Y) is always in
+	// [|sx-sy|, sx+sy], giving a certain-yes / certain-no sandwich that
+	// usually avoids touching the term lists (the correlation argument of
+	// §2.3 / Figure 2: solutions from the same subtree are so correlated
+	// that a small mean edge is near-certain dominance).
+	if !probAtLeast(b.L.Nominal-a.L.Nominal, a.sigmaL, b.sigmaL, p.zL, a.L, b.L, p.space) {
+		return false
+	}
+	return probAtLeast(a.T.Nominal-b.T.Nominal, a.sigmaT, b.sigmaT, p.zT, a.T, b.T, p.space)
+}
+
+// probAtLeast reports whether Phi(gap / sigma(f-g)) >= Phi(z), i.e.
+// gap >= z*sigma(f-g), trying the sigma bounds before the exact
+// covariance. gap may be any sign; z >= 0.
+func probAtLeast(gap, sf, sg, z float64, f, g variation.Form, space *variation.Space) bool {
+	if z == 0 {
+		return gap >= 0
+	}
+	if gap < 0 {
+		return false
+	}
+	hi := sf + sg
+	if gap >= z*hi {
+		return true // certain even at the most pessimistic correlation
+	}
+	lo := sf - sg
+	if lo < 0 {
+		lo = -lo
+	}
+	if gap < z*lo {
+		return false // impossible even at the most optimistic correlation
+	}
+	varDiff := sf*sf + sg*sg - 2*variation.Cov(f, g, space)
+	if varDiff <= 0 {
+		return true // deterministic positive gap
+	}
+	return gap*gap >= z*z*varDiff
+}
+
+// prune4P is the pairwise partial-order pruning of the 4P rule (§2.2):
+// candidate j is removed when some candidate i has its upper loading
+// quantile below j's lower loading quantile AND its lower RAT quantile
+// above j's upper RAT quantile. This is inherently O(N²).
+func (p *pruner) prune4P(list []*Candidate) []*Candidate {
+	sortByMean(list) // helps locality; correctness does not depend on order
+	type quad struct{ lLo, lHi, tLo, tHi float64 }
+	qs := make([]quad, len(list))
+	for i, c := range list {
+		qs[i] = quad{
+			lLo: c.L.Nominal + p.zAlphaL*c.sigmaL,
+			lHi: c.L.Nominal + p.zAlphaU*c.sigmaL,
+			tLo: c.T.Nominal + p.zBetaL*c.sigmaT,
+			tHi: c.T.Nominal + p.zBetaU*c.sigmaT,
+		}
+	}
+	dead := make([]bool, len(list))
+	for i := range list {
+		if dead[i] {
+			continue
+		}
+		if !p.deadline.IsZero() && i%64 == 0 && time.Now().After(p.deadline) {
+			p.timedOut = true
+			break
+		}
+		for j := range list {
+			if i == j || dead[j] {
+				continue
+			}
+			// i dominates j per eq. 2–3.
+			if qs[i].lHi < qs[j].lLo && qs[i].tLo > qs[j].tHi {
+				dead[j] = true
+				p.stats.Pruned++
+			}
+		}
+	}
+	out := list[:0]
+	for i, c := range list {
+		if !dead[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

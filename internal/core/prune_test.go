@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"vabuf/internal/variation"
+)
+
+// mkCand builds a candidate with deterministic (L, T).
+func mkCand(l, t float64) *Candidate {
+	return &Candidate{L: variation.Const(l), T: variation.Const(t)}
+}
+
+// mkStatCand builds a candidate whose L and T each load one private source.
+func mkStatCand(space *variation.Space, l, sl, t, st float64) *Candidate {
+	c := &Candidate{
+		L: variation.NewForm(l, []variation.Term{{ID: space.Add(variation.ClassRandom, 1, "l"), Coef: sl}}),
+		T: variation.NewForm(t, []variation.Term{{ID: space.Add(variation.ClassRandom, 1, "t"), Coef: st}}),
+	}
+	c.fillSigmas(space)
+	return c
+}
+
+func defaultPruner(space *variation.Space) *pruner {
+	var st Stats
+	opts := Options{PbarL: 0.5, PbarT: 0.5, FourP: DefaultFourP()}
+	return newPruner(space, opts, &st)
+}
+
+func TestPrune2PMeanPath(t *testing.T) {
+	space := variation.NewSpace()
+	p := defaultPruner(space)
+	list := []*Candidate{
+		mkCand(5, -10), // dominated by (3, -8)
+		mkCand(3, -8),
+		mkCand(1, -20),
+		mkCand(7, -5),
+		mkCand(9, -5), // dominated: same T, more load
+	}
+	out := p.prune(list)
+	if len(out) != 3 {
+		t.Fatalf("kept %d candidates: %+v", len(out), out)
+	}
+	// Strictly ascending in both means.
+	for i := 1; i < len(out); i++ {
+		if !(out[i].MeanL() > out[i-1].MeanL() && out[i].MeanT() > out[i-1].MeanT()) {
+			t.Errorf("output not strictly ascending at %d", i)
+		}
+	}
+	if p.stats.Pruned != 2 {
+		t.Errorf("pruned counter = %d, want 2", p.stats.Pruned)
+	}
+}
+
+func TestPrune2PDuplicates(t *testing.T) {
+	space := variation.NewSpace()
+	p := defaultPruner(space)
+	out := p.prune([]*Candidate{mkCand(2, -3), mkCand(2, -3), mkCand(2, -3)})
+	if len(out) != 1 {
+		t.Errorf("duplicates not collapsed: kept %d", len(out))
+	}
+}
+
+func TestPrune2PSmallLists(t *testing.T) {
+	space := variation.NewSpace()
+	p := defaultPruner(space)
+	if got := p.prune(nil); len(got) != 0 {
+		t.Error("nil list changed")
+	}
+	one := []*Candidate{mkCand(1, 1)}
+	if got := p.prune(one); len(got) != 1 {
+		t.Error("singleton pruned")
+	}
+}
+
+// TestPrune2PInvariantsRandom checks on random deterministic candidate
+// sets that the survivors form a strict staircase and that no survivor is
+// dominated by any other survivor (pairwise, not just adjacent).
+func TestPrune2PInvariantsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		space := variation.NewSpace()
+		p := defaultPruner(space)
+		n := 2 + rng.Intn(60)
+		list := make([]*Candidate, n)
+		for i := range list {
+			list[i] = mkCand(rng.Float64()*100, -rng.Float64()*100)
+		}
+		out := p.prune(list)
+		for i := 1; i < len(out); i++ {
+			if !(out[i].MeanL() > out[i-1].MeanL()) || !(out[i].MeanT() > out[i-1].MeanT()) {
+				t.Fatalf("trial %d: not a strict staircase", trial)
+			}
+		}
+		for i := range out {
+			for j := range out {
+				if i == j {
+					continue
+				}
+				if out[i].MeanL() <= out[j].MeanL() && out[i].MeanT() >= out[j].MeanT() {
+					t.Fatalf("trial %d: survivor %d dominated by %d", trial, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPrune2PHigherPbarKeepsMore(t *testing.T) {
+	// With pbar > 0.5 dominance requires a confident win, so fewer
+	// candidates are pruned than at pbar = 0.5 when variances overlap.
+	space := variation.NewSpace()
+	var stLow, stHigh Stats
+	low := newPruner(space, Options{PbarL: 0.5, PbarT: 0.5, FourP: DefaultFourP()}, &stLow)
+	high := newPruner(space, Options{PbarL: 0.95, PbarT: 0.95, FourP: DefaultFourP()}, &stHigh)
+	mk := func() []*Candidate {
+		// Overlapping distributions: means differ by less than a sigma.
+		out := make([]*Candidate, 0, 8)
+		for i := 0; i < 8; i++ {
+			out = append(out, mkStatCand(space, 10+0.2*float64(i), 2.0, -50-0.2*float64(i), 2.0))
+		}
+		return out
+	}
+	keptLow := len(low.prune(mk()))
+	keptHigh := len(high.prune(mk()))
+	if keptHigh <= keptLow {
+		t.Errorf("pbar 0.95 kept %d, pbar 0.5 kept %d; want more at higher pbar",
+			keptHigh, keptLow)
+	}
+	if keptLow != 1 {
+		t.Errorf("pbar 0.5 staircase should collapse this chain to 1, kept %d", keptLow)
+	}
+}
+
+func TestPrune4PPartialOrder(t *testing.T) {
+	space := variation.NewSpace()
+	var st Stats
+	p := newPruner(space, Options{
+		Rule: Rule4P, PbarL: 0.5, PbarT: 0.5, FourP: DefaultFourP(),
+	}, &st)
+	// Clearly separated candidates: 4P dominance applies.
+	a := mkStatCand(space, 1, 0.01, -5, 0.01)   // tiny load, great RAT
+	b := mkStatCand(space, 50, 0.01, -80, 0.01) // huge load, poor RAT
+	out := p.prune([]*Candidate{a, b})
+	if len(out) != 1 || out[0] != a {
+		t.Fatalf("4P failed to prune a clearly dominated candidate: kept %d", len(out))
+	}
+	// Overlapping quantile bands: no pruning (the partial-order weakness).
+	c := mkStatCand(space, 10, 5, -50, 5)
+	d := mkStatCand(space, 11, 5, -51, 5)
+	out = p.prune([]*Candidate{c, d})
+	if len(out) != 2 {
+		t.Errorf("4P pruned overlapping candidates: kept %d", len(out))
+	}
+}
+
+// TestDominates2PMatchesDirectProbability pins the bound-based fast path
+// of dominates2P to the direct eq. 8 evaluation on the forms.
+func TestDominates2PMatchesDirectProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	space := variation.NewSpace()
+	nsrc := 6
+	for i := 0; i < nsrc; i++ {
+		space.Add(variation.ClassRandom, 1, "s")
+	}
+	mk := func() *Candidate {
+		terms := func() []variation.Term {
+			var ts []variation.Term
+			for id := 0; id < nsrc; id++ {
+				if rng.Float64() < 0.6 {
+					ts = append(ts, variation.Term{ID: variation.SourceID(id), Coef: rng.NormFloat64() * 3})
+				}
+			}
+			return ts
+		}
+		c := &Candidate{
+			L: variation.NewForm(rng.Float64()*20, terms()),
+			T: variation.NewForm(-rng.Float64()*50, terms()),
+		}
+		c.fillSigmas(space)
+		return c
+	}
+	for _, pbar := range []float64{0.6, 0.8, 0.95} {
+		var st Stats
+		p := newPruner(space, Options{PbarL: pbar, PbarT: pbar, FourP: DefaultFourP()}, &st)
+		for trial := 0; trial < 2000; trial++ {
+			a, b := mk(), mk()
+			if a.L.Nominal > b.L.Nominal {
+				a, b = b, a // the sweep guarantees this order
+			}
+			got := p.dominates2P(a, b)
+			want := variation.ProbGreater(b.L, a.L, space) >= pbar &&
+				variation.ProbGreater(a.T, b.T, space) >= pbar
+			if got != want {
+				t.Fatalf("pbar %g trial %d: dominates=%v direct=%v\na=%+v\nb=%+v",
+					pbar, trial, got, want, a, b)
+			}
+		}
+	}
+}
+
+func TestNeedSigmas(t *testing.T) {
+	space := variation.NewSpace()
+	var st Stats
+	if newPruner(space, Options{PbarL: 0.5, PbarT: 0.5, FourP: DefaultFourP()}, &st).needSigmas() {
+		t.Error("mean-path pruner claims to need sigmas")
+	}
+	if !newPruner(space, Options{PbarL: 0.7, PbarT: 0.5, FourP: DefaultFourP()}, &st).needSigmas() {
+		t.Error("pbar>0.5 pruner does not need sigmas")
+	}
+	if !newPruner(space, Options{Rule: Rule4P, PbarL: 0.5, PbarT: 0.5, FourP: DefaultFourP()}, &st).needSigmas() {
+		t.Error("4P pruner does not need sigmas")
+	}
+}

@@ -1,0 +1,224 @@
+// Package device defines the buffer library used by the inserter — each
+// type characterized by input capacitance C_b, intrinsic delay T_b and
+// output resistance R_b (§3.1) — and the Monte-Carlo extraction pipeline
+// that fits the first-order variation model of eq. 19–20 to the nonlinear
+// device substrate in internal/spice (the Figure 3 experiment).
+package device
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vabuf/internal/spice"
+	"vabuf/internal/stats"
+)
+
+// BufferType is one entry of the buffer library. Following the paper, the
+// variation-prone characteristics are C_b and T_b while R_b is treated as
+// a constant for a given device size.
+type BufferType struct {
+	Name string
+	// Cb0 is the nominal input capacitance (fF).
+	Cb0 float64
+	// Tb0 is the nominal intrinsic delay (ps).
+	Tb0 float64
+	// Rb is the output resistance (kΩ).
+	Rb float64
+	// MaxLoad is the drive-capability limit (fF): the largest downstream
+	// capacitance this buffer (and, at the leaf level, an unbuffered
+	// subtree) may present. Zero means unconstrained. The constraint is
+	// enforced on nominal loads by the inserters.
+	MaxLoad float64
+	// Inverting marks an inverter: the inserter tracks signal polarity
+	// and only accepts solutions that deliver the true polarity at every
+	// sink (an even number of inverters on each root-to-sink path).
+	Inverting bool
+}
+
+// Validate reports problems with a buffer type.
+func (b BufferType) Validate() error {
+	switch {
+	case b.Cb0 <= 0:
+		return fmt.Errorf("device: buffer %q has non-positive Cb0 %g", b.Name, b.Cb0)
+	case b.Tb0 < 0:
+		return fmt.Errorf("device: buffer %q has negative Tb0 %g", b.Name, b.Tb0)
+	case b.Rb <= 0:
+		return fmt.Errorf("device: buffer %q has non-positive Rb %g", b.Name, b.Rb)
+	case b.MaxLoad < 0:
+		return fmt.Errorf("device: buffer %q has negative MaxLoad %g", b.Name, b.MaxLoad)
+	}
+	return nil
+}
+
+// Library is an ordered set of buffer types; the DP tries each of them at
+// every legal position (the B of the O(B·N²) bound).
+type Library []BufferType
+
+// Validate checks every entry and name uniqueness.
+func (l Library) Validate() error {
+	if len(l) == 0 {
+		return fmt.Errorf("device: empty buffer library")
+	}
+	seen := make(map[string]bool, len(l))
+	for _, b := range l {
+		if err := b.Validate(); err != nil {
+			return err
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("device: duplicate buffer name %q", b.Name)
+		}
+		seen[b.Name] = true
+	}
+	return nil
+}
+
+// InverterLibrary returns a two-size inverter library derived from the
+// buffer library: an inverter is a single stage, so it presents the same
+// input capacitance at roughly half the intrinsic delay of the two-stage
+// buffer.
+func InverterLibrary() Library {
+	return Library{
+		{Name: "inv4", Cb0: 1.3250, Tb0: 29.7384, Rb: 0.50748, Inverting: true},
+		{Name: "inv16", Cb0: 5.3000, Tb0: 29.7384, Rb: 0.12687, Inverting: true},
+	}
+}
+
+// DefaultLibrary returns the four-size 65 nm buffer library extracted from
+// the spice substrate at nominal channel length (widths 2, 4, 8 and 16 µm;
+// values pinned here and cross-checked against spice.Characterize in the
+// tests). The intrinsic delay is width-invariant because the substrate
+// scales self-load with drive — the classic ideal-scaling property.
+func DefaultLibrary() Library {
+	return Library{
+		{Name: "b2", Cb0: 0.6625, Tb0: 59.4767, Rb: 1.01495},
+		{Name: "b4", Cb0: 1.3250, Tb0: 59.4767, Rb: 0.50748},
+		{Name: "b8", Cb0: 2.6500, Tb0: 59.4767, Rb: 0.25374},
+		{Name: "b16", Cb0: 5.3000, Tb0: 59.4767, Rb: 0.12687},
+	}
+}
+
+// CharacterizedLibrary builds a library by running the spice substrate at
+// nominal channel length for each output width.
+func CharacterizedLibrary(widths []float64) (Library, error) {
+	return CornerLibrary(widths, spice.CornerTT)
+}
+
+// CornerLibrary characterizes the buffer library at a process corner —
+// the traditional corner methodology. The SS corner yields the
+// pessimistic library a corner-based flow designs against.
+func CornerLibrary(widths []float64, corner spice.Corner) (Library, error) {
+	if len(widths) == 0 {
+		return nil, fmt.Errorf("device: no widths given")
+	}
+	lib := make(Library, 0, len(widths))
+	for _, w := range widths {
+		p := spice.Default65nm(w).AtCorner(corner)
+		ch, err := p.Characterize(p.Lnom)
+		if err != nil {
+			return nil, fmt.Errorf("device: characterizing W=%g at %v: %w", w, corner, err)
+		}
+		lib = append(lib, BufferType{
+			Name: fmt.Sprintf("b%g", w),
+			Cb0:  ch.Cb,
+			Tb0:  ch.Tb,
+			Rb:   ch.Rb,
+		})
+	}
+	return lib, lib.Validate()
+}
+
+// FitResult is the outcome of the §3.1 extraction flow for one device: the
+// least-squares first-order model of eq. 19–20 over sampled channel
+// lengths, plus the goodness-of-fit evidence behind Figure 3.
+type FitResult struct {
+	// Nominal is the characterization at the nominal channel length.
+	Nominal spice.Characterization
+	// CbFit and TbFit are the first-order models Cb(L), Tb(L) — eq. 19–20
+	// restricted to the single underlying parameter L_eff.
+	CbFit, TbFit stats.LinearFit
+	// TbSamples are the raw simulated intrinsic delays ("SPICE-extracted
+	// PDF" of Figure 3).
+	TbSamples []float64
+	// TbMean and TbSigma parameterize the normal approximation implied by
+	// the first-order model: mean = Tb(Lnom), sigma = |dTb/dL|·sigma_L.
+	TbMean, TbSigma float64
+	// CbRelSens and TbRelSens are the relative 1-sigma excursions of Cb
+	// and Tb under the sampled L_eff variation, e.g. 0.05 means the class
+	// budget of 5%.
+	CbRelSens, TbRelSens float64
+	// KS is the Kolmogorov–Smirnov distance between TbSamples and the
+	// N(TbMean, TbSigma) approximation: the quantitative version of
+	// "the two PDFs are very close to each other".
+	KS float64
+}
+
+// Extract runs the paper's §3.1 pipeline against the spice substrate:
+// sample L_eff ~ N(Lnom, sigmaFrac·Lnom) (the paper uses 10%), simulate
+// the device at each sample, least-squares fit the first-order model, and
+// quantify how normal the resulting T_b distribution is.
+func Extract(p spice.DeviceParams, sigmaFrac float64, n int, seed int64) (*FitResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if sigmaFrac <= 0 || sigmaFrac >= 0.5 {
+		return nil, fmt.Errorf("device: sigmaFrac %g outside (0, 0.5)", sigmaFrac)
+	}
+	if n < 10 {
+		return nil, fmt.Errorf("device: need at least 10 samples, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sigmaL := sigmaFrac * p.Lnom
+	ls := make([]float64, 0, n)
+	cbs := make([]float64, 0, n)
+	tbs := make([]float64, 0, n)
+	for len(ls) < n {
+		l := p.Lnom + sigmaL*rng.NormFloat64()
+		if l < 0.3*p.Lnom { // discard unphysical deep-tail samples
+			continue
+		}
+		ch, err := p.Characterize(l)
+		if err != nil {
+			return nil, fmt.Errorf("device: sample L=%g: %w", l, err)
+		}
+		ls = append(ls, l)
+		cbs = append(cbs, ch.Cb)
+		tbs = append(tbs, ch.Tb)
+	}
+	nominal, err := p.Characterize(p.Lnom)
+	if err != nil {
+		return nil, err
+	}
+	cbFit, err := stats.FitLine(ls, cbs)
+	if err != nil {
+		return nil, fmt.Errorf("device: fitting Cb: %w", err)
+	}
+	tbFit, err := stats.FitLine(ls, tbs)
+	if err != nil {
+		return nil, fmt.Errorf("device: fitting Tb: %w", err)
+	}
+	res := &FitResult{
+		Nominal:   nominal,
+		CbFit:     cbFit,
+		TbFit:     tbFit,
+		TbSamples: tbs,
+		TbMean:    tbFit.Eval(p.Lnom),
+		TbSigma:   absF(tbFit.Slope) * sigmaL,
+		CbRelSens: absF(cbFit.Slope) * sigmaL / nominal.Cb,
+		TbRelSens: absF(tbFit.Slope) * sigmaL / nominal.Tb,
+	}
+	if res.TbSigma > 0 {
+		ks, err := stats.KSNormal(tbs, res.TbMean, res.TbSigma)
+		if err != nil {
+			return nil, err
+		}
+		res.KS = ks
+	}
+	return res, nil
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,235 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"vabuf/internal/spice"
+)
+
+func TestBufferTypeValidate(t *testing.T) {
+	good := BufferType{Name: "b", Cb0: 1, Tb0: 10, Rb: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []BufferType{
+		{Name: "b", Cb0: 0, Tb0: 10, Rb: 0.5},
+		{Name: "b", Cb0: 1, Tb0: -1, Rb: 0.5},
+		{Name: "b", Cb0: 1, Tb0: 10, Rb: 0},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid buffer accepted", i)
+		}
+	}
+}
+
+func TestLibraryValidate(t *testing.T) {
+	if err := DefaultLibrary().Validate(); err != nil {
+		t.Fatalf("default library invalid: %v", err)
+	}
+	if err := (Library{}).Validate(); err == nil {
+		t.Error("empty library accepted")
+	}
+	dup := Library{
+		{Name: "x", Cb0: 1, Tb0: 1, Rb: 1},
+		{Name: "x", Cb0: 2, Tb0: 2, Rb: 2},
+	}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	broken := Library{{Name: "x", Cb0: -1, Tb0: 1, Rb: 1}}
+	if err := broken.Validate(); err == nil {
+		t.Error("library with invalid entry accepted")
+	}
+}
+
+// TestDefaultLibraryMatchesSubstrate pins the hardcoded constants to the
+// spice pipeline they were extracted from.
+func TestDefaultLibraryMatchesSubstrate(t *testing.T) {
+	widths := []float64{2, 4, 8, 16}
+	lib := DefaultLibrary()
+	for i, w := range widths {
+		p := spice.Default65nm(w)
+		ch, err := p.Characterize(p.Lnom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := lib[i]
+		if math.Abs(ch.Cb-b.Cb0)/b.Cb0 > 0.01 {
+			t.Errorf("%s: Cb0 %g vs characterized %g", b.Name, b.Cb0, ch.Cb)
+		}
+		if math.Abs(ch.Tb-b.Tb0)/b.Tb0 > 0.01 {
+			t.Errorf("%s: Tb0 %g vs characterized %g", b.Name, b.Tb0, ch.Tb)
+		}
+		if math.Abs(ch.Rb-b.Rb)/b.Rb > 0.01 {
+			t.Errorf("%s: Rb %g vs characterized %g", b.Name, b.Rb, ch.Rb)
+		}
+	}
+}
+
+func TestCornerLibraries(t *testing.T) {
+	widths := []float64{4}
+	ss, err := CornerLibrary(widths, spice.CornerSS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := CornerLibrary(widths, spice.CornerTT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := CornerLibrary(widths, spice.CornerFF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corner ordering: SS slowest, FF fastest, on both delay and drive.
+	if !(ss[0].Tb0 > tt[0].Tb0 && tt[0].Tb0 > ff[0].Tb0) {
+		t.Errorf("Tb corner order broken: SS %g TT %g FF %g", ss[0].Tb0, tt[0].Tb0, ff[0].Tb0)
+	}
+	if !(ss[0].Rb > tt[0].Rb && tt[0].Rb > ff[0].Rb) {
+		t.Errorf("Rb corner order broken: SS %g TT %g FF %g", ss[0].Rb, tt[0].Rb, ff[0].Rb)
+	}
+	// TT equals the plain characterized library.
+	plain, err := CharacterizedLibrary(widths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0] != tt[0] {
+		t.Errorf("TT corner differs from plain characterization")
+	}
+	if _, err := CornerLibrary(nil, spice.CornerSS); err == nil {
+		t.Error("empty widths accepted")
+	}
+	// Corner names render.
+	for _, c := range []spice.Corner{spice.CornerTT, spice.CornerSS, spice.CornerFF, spice.Corner(9)} {
+		if c.String() == "" {
+			t.Errorf("corner %d has empty name", c)
+		}
+	}
+}
+
+func TestInverterLibrary(t *testing.T) {
+	inv := InverterLibrary()
+	if err := inv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	buf := DefaultLibrary()
+	for _, b := range inv {
+		if !b.Inverting {
+			t.Errorf("%s not marked inverting", b.Name)
+		}
+		// Single stage: roughly half the two-stage buffer delay.
+		if math.Abs(b.Tb0-buf[0].Tb0/2) > 0.01*buf[0].Tb0 {
+			t.Errorf("%s Tb0 = %g, want ~%g", b.Name, b.Tb0, buf[0].Tb0/2)
+		}
+	}
+	// Combined library remains valid (unique names).
+	combined := append(append(Library{}, buf...), inv...)
+	if err := combined.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLibraryOrdering(t *testing.T) {
+	// Sanity of the size trade-off across the library: increasing drive
+	// (lower Rb) costs input capacitance.
+	lib := DefaultLibrary()
+	for i := 1; i < len(lib); i++ {
+		if !(lib[i].Cb0 > lib[i-1].Cb0) {
+			t.Errorf("Cb0 not increasing at %d", i)
+		}
+		if !(lib[i].Rb < lib[i-1].Rb) {
+			t.Errorf("Rb not decreasing at %d", i)
+		}
+	}
+}
+
+func TestCharacterizedLibrary(t *testing.T) {
+	lib, err := CharacterizedLibrary([]float64{3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib) != 2 {
+		t.Fatalf("len = %d", len(lib))
+	}
+	if lib[0].Name != "b3" || lib[1].Name != "b6" {
+		t.Errorf("names = %q, %q", lib[0].Name, lib[1].Name)
+	}
+	if _, err := CharacterizedLibrary(nil); err == nil {
+		t.Error("empty widths accepted")
+	}
+	if _, err := CharacterizedLibrary([]float64{-1}); err == nil {
+		t.Error("invalid width accepted")
+	}
+}
+
+func TestExtractFirstOrderFit(t *testing.T) {
+	// The heart of Figure 3: simulate with 10% L_eff sigma, fit, and check
+	// that the first-order model is a good description of the nonlinear
+	// substrate.
+	p := spice.Default65nm(4)
+	res, err := Extract(p, 0.10, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TbFit.R2 < 0.95 {
+		t.Errorf("Tb first-order fit R2 = %g, want > 0.95", res.TbFit.R2)
+	}
+	if res.CbFit.R2 < 0.999 {
+		t.Errorf("Cb first-order fit R2 = %g (gate cap is ~linear in L)", res.CbFit.R2)
+	}
+	// The normal approximation should be close: small KS distance.
+	if res.KS > 0.08 {
+		t.Errorf("KS distance = %g, want small (Fig. 3 'very close')", res.KS)
+	}
+	// Relative sensitivities are positive and moderate.
+	if res.TbRelSens <= 0 || res.TbRelSens > 0.5 {
+		t.Errorf("TbRelSens = %g", res.TbRelSens)
+	}
+	if res.CbRelSens <= 0 || res.CbRelSens > 0.5 {
+		t.Errorf("CbRelSens = %g", res.CbRelSens)
+	}
+	// Delay grows with channel length; cap grows with channel length.
+	if res.TbFit.Slope <= 0 || res.CbFit.Slope <= 0 {
+		t.Errorf("slopes = %g, %g, want positive", res.TbFit.Slope, res.CbFit.Slope)
+	}
+	if len(res.TbSamples) != 400 {
+		t.Errorf("sample count = %d", len(res.TbSamples))
+	}
+	// Model mean is close to the nominal characterization.
+	if math.Abs(res.TbMean-res.Nominal.Tb)/res.Nominal.Tb > 0.05 {
+		t.Errorf("TbMean %g far from nominal %g", res.TbMean, res.Nominal.Tb)
+	}
+}
+
+func TestExtractValidation(t *testing.T) {
+	p := spice.Default65nm(4)
+	if _, err := Extract(p, 0, 100, 1); err == nil {
+		t.Error("zero sigmaFrac accepted")
+	}
+	if _, err := Extract(p, 0.6, 100, 1); err == nil {
+		t.Error("huge sigmaFrac accepted")
+	}
+	if _, err := Extract(p, 0.1, 5, 1); err == nil {
+		t.Error("tiny sample count accepted")
+	}
+	p.W = -1
+	if _, err := Extract(p, 0.1, 100, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestExtractDeterministicWithSeed(t *testing.T) {
+	p := spice.Default65nm(4)
+	a, err := Extract(p, 0.1, 50, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Extract(p, 0.1, 50, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TbFit != b.TbFit || a.KS != b.KS {
+		t.Error("Extract not deterministic for fixed seed")
+	}
+}

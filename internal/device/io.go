@@ -1,0 +1,32 @@
+package device
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteLibrary serializes a buffer library as indented JSON, the
+// interchange format of the bufins -library flag.
+func WriteLibrary(w io.Writer, lib Library) error {
+	if err := lib.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(lib)
+}
+
+// ReadLibrary parses a JSON buffer library and validates it.
+func ReadLibrary(r io.Reader) (Library, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var lib Library
+	if err := dec.Decode(&lib); err != nil {
+		return nil, fmt.Errorf("device: parsing library: %w", err)
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}

@@ -1,0 +1,61 @@
+package device
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLibraryJSONRoundTrip(t *testing.T) {
+	lib := append(DefaultLibrary(), InverterLibrary()...)
+	lib[0].MaxLoad = 120
+	var buf bytes.Buffer
+	if err := WriteLibrary(&buf, lib); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(lib) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(back), len(lib))
+	}
+	for i := range lib {
+		if back[i] != lib[i] {
+			t.Errorf("entry %d differs: %+v vs %+v", i, back[i], lib[i])
+		}
+	}
+}
+
+func TestWriteLibraryRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLibrary(&buf, Library{}); err == nil {
+		t.Error("empty library written")
+	}
+	if err := WriteLibrary(&buf, Library{{Name: "x", Cb0: -1, Tb0: 1, Rb: 1}}); err == nil {
+		t.Error("invalid entry written")
+	}
+}
+
+func TestReadLibraryErrors(t *testing.T) {
+	cases := []string{
+		"",                    // empty
+		"{",                   // malformed
+		"[]",                  // empty library fails validation
+		`[{"Name":"x"}]`,      // invalid entry
+		`[{"Frequency":900}]`, // unknown field
+	}
+	for _, c := range cases {
+		if _, err := ReadLibrary(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadLibrary accepted %q", c)
+		}
+	}
+	good := `[{"Name":"b1","Cb0":1.5,"Tb0":40,"Rb":0.3}]`
+	lib, err := ReadLibrary(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib[0].Name != "b1" || lib[0].Rb != 0.3 {
+		t.Errorf("parsed library = %+v", lib)
+	}
+}

@@ -1,0 +1,154 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5): benchmark characteristics (Table 1), 4P-vs-2P runtime
+// (Table 2), the pruning-probability curves (Figure 2), the device-fitting
+// PDF comparison (Figure 3), runtime scaling (Figure 5), canonical-vs-
+// Monte-Carlo RAT PDFs (Figure 6), the NOM/D2D/WID yield comparison under
+// the heterogeneous and homogeneous spatial models (Tables 3 and 4),
+// buffer counts (Table 5), the p̄ sensitivity sweep (§5.3), and the
+// H-tree capacity run (footnote 4).
+//
+// Each experiment is a function returning structured rows, so the CLI
+// harness, the benchmarks in bench_test.go, and EXPERIMENTS.md generation
+// all share one implementation.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vabuf/internal/benchgen"
+	"vabuf/internal/core"
+	"vabuf/internal/device"
+	"vabuf/internal/rctree"
+	"vabuf/internal/variation"
+)
+
+// Config holds the experiment-wide knobs.
+type Config struct {
+	// BudgetFrac is the per-class 1-sigma variation budget as a fraction
+	// of a device characteristic's nominal value. The paper states 5%
+	// budgets for variation data it derived from SPICE; our own substrate
+	// extraction (§3.1 pipeline, device.Extract) measures ~15% T_b
+	// variability under the paper's 10% L_eff sigma, so the headline
+	// configuration uses 0.15 and the literal 0.05 is reported as an
+	// ablation. See DESIGN.md and EXPERIMENTS.md.
+	BudgetFrac float64
+	// YieldQuantile is the yield quantile q (0.05 = the 95%-yield RAT).
+	YieldQuantile float64
+	// MCSamples is the Monte-Carlo sample count for Figure 6.
+	MCSamples int
+	// Benches selects the Table 1 presets to run (default: all seven).
+	Benches []string
+	// FourPLibSize truncates the buffer library for the Table 2 baseline
+	// comparison (the 4P partial order blows up combinatorially in B; the
+	// DATE 2005 baseline used a single buffer type). Default 1.
+	FourPLibSize int
+	// FourPMaxCandidates and FourPTimeout are the capacity limits under
+	// which a 4P run is declared failed (the "-" entries of Table 2).
+	FourPMaxCandidates int
+	FourPTimeout       time.Duration
+	// HTreeLevels sets the footnote-4 capacity benchmark (4^levels sinks).
+	HTreeLevels int
+	// Seed namespaces every randomized piece of the harness.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used for EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{
+		BudgetFrac:         0.15,
+		YieldQuantile:      0.05,
+		MCSamples:          10000,
+		Benches:            benchNames(),
+		FourPLibSize:       1,
+		FourPMaxCandidates: 20_000,
+		FourPTimeout:       60 * time.Second,
+		HTreeLevels:        8,
+		Seed:               1,
+	}
+}
+
+// QuickConfig is a downsized configuration for tests and benchmarks.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MCSamples = 2000
+	cfg.Benches = []string{"p1", "r1"}
+	cfg.FourPTimeout = 10 * time.Second
+	cfg.FourPMaxCandidates = 20_000
+	cfg.HTreeLevels = 4
+	return cfg
+}
+
+func (c Config) withDefaults() Config {
+	if c.BudgetFrac == 0 {
+		c.BudgetFrac = 0.15
+	}
+	if c.YieldQuantile == 0 {
+		c.YieldQuantile = 0.05
+	}
+	if c.MCSamples == 0 {
+		c.MCSamples = 10000
+	}
+	if len(c.Benches) == 0 {
+		c.Benches = benchNames()
+	}
+	if c.FourPLibSize == 0 {
+		c.FourPLibSize = 1
+	}
+	if c.FourPMaxCandidates == 0 {
+		c.FourPMaxCandidates = 20_000
+	}
+	if c.FourPTimeout == 0 {
+		c.FourPTimeout = 60 * time.Second
+	}
+	if c.HTreeLevels == 0 {
+		c.HTreeLevels = 8
+	}
+	return c
+}
+
+func benchNames() []string {
+	specs := benchgen.Presets()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// library returns the shared buffer library.
+func library() device.Library { return device.DefaultLibrary() }
+
+// buildModels constructs the three §5 variation models for a tree: the
+// full WID model (heterogeneous or homogeneous spatial), and the D2D
+// model (random + inter-die only).
+func buildModels(tree *rctree.Tree, budget float64, hetero bool) (wid, d2d *variation.Model, err error) {
+	die := tree.BoundingBox().Expand(100)
+	widCfg := variation.DefaultConfig(die)
+	widCfg.Heterogeneous = hetero
+	widCfg.RandomFrac = budget
+	widCfg.SpatialFrac = budget
+	widCfg.InterDieFrac = budget
+	wid, err = variation.NewModel(widCfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: building WID model: %w", err)
+	}
+	d2dCfg := variation.DefaultConfig(die)
+	d2dCfg.RandomFrac = budget
+	d2dCfg.SpatialFrac = 0
+	d2dCfg.InterDieFrac = budget
+	d2d, err = variation.NewModel(d2dCfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: building D2D model: %w", err)
+	}
+	return wid, d2d, nil
+}
+
+// insertWID runs the variation-aware 2P insertion under the WID model.
+func insertWID(tree *rctree.Tree, model *variation.Model, q float64) (*core.Result, error) {
+	return core.Insert(tree, core.Options{
+		Library:        library(),
+		Model:          model,
+		SelectQuantile: q,
+	})
+}

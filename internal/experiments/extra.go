@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"vabuf/internal/benchgen"
+	"vabuf/internal/core"
+	"vabuf/internal/rctree"
+	"vabuf/internal/report"
+)
+
+// PbarRow is one point of the §5.3 p̄ sensitivity sweep.
+type PbarRow struct {
+	Pbar      float64
+	Objective float64
+	// RelDiff is the relative difference of the objective versus the
+	// pbar = 0.5 baseline.
+	RelDiff float64
+	Elapsed time.Duration
+}
+
+// PbarSweep reruns the WID optimization on one benchmark for p̄ from 0.5
+// to 0.95, reporting how much the final optimal RAT moves (§5.3's last
+// experiment: "less than 0.1% difference").
+func PbarSweep(cfg Config, bench string) ([]PbarRow, error) {
+	cfg = cfg.withDefaults()
+	tr, err := benchgen.Build(bench)
+	if err != nil {
+		return nil, err
+	}
+	var out []PbarRow
+	base := 0.0
+	for _, pbar := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95} {
+		wid, _, err := buildModels(tr, cfg.BudgetFrac, true)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		res, err := core.Insert(tr, core.Options{
+			Library:        library(),
+			Model:          wid,
+			PbarL:          pbar,
+			PbarT:          pbar,
+			SelectQuantile: cfg.YieldQuantile,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pbar %.2f on %s: %w", pbar, bench, err)
+		}
+		row := PbarRow{Pbar: pbar, Objective: res.Objective, Elapsed: time.Since(t0)}
+		if pbar == 0.5 {
+			base = res.Objective
+		}
+		row.RelDiff = (res.Objective - base) / math.Abs(base)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderPbarSweep renders the sweep.
+func RenderPbarSweep(w io.Writer, bench string, rows []PbarRow) error {
+	t := report.NewTable(
+		fmt.Sprintf("pbar sensitivity on %s (§5.3: expect well under 0.1%% RAT difference)", bench),
+		"pbar", "objective RAT", "vs pbar=0.5", "runtime")
+	for _, r := range rows {
+		t.AddRow(report.F(r.Pbar, 2), report.F(r.Objective, 2),
+			fmt.Sprintf("%+.4f%%", 100*r.RelDiff),
+			fmt.Sprintf("%.3fs", r.Elapsed.Seconds()))
+	}
+	return t.Render(w)
+}
+
+// CapacityResult is the footnote-4 H-tree capacity run.
+type CapacityResult struct {
+	Levels  int
+	Sinks   int
+	Nodes   int
+	Buffers int
+	Elapsed time.Duration
+	Mean    float64
+	Sigma   float64
+}
+
+// CapacityHTree builds a 4^levels-sink H-tree clock network and runs the
+// full WID 2P optimization on it — the "eight-level H-tree with more than
+// 64,000 sinks" capacity demonstration.
+func CapacityHTree(cfg Config) (*CapacityResult, error) {
+	cfg = cfg.withDefaults()
+	side := 10000.0
+	tr, err := benchgen.HTree(cfg.HTreeLevels, side, 10, rctree.WireParams{}, 0.3)
+	if err != nil {
+		return nil, err
+	}
+	wid, _, err := buildModels(tr, cfg.BudgetFrac, true)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	res, err := insertWID(tr, wid, cfg.YieldQuantile)
+	if err != nil {
+		return nil, err
+	}
+	return &CapacityResult{
+		Levels:  cfg.HTreeLevels,
+		Sinks:   tr.NumSinks(),
+		Nodes:   tr.Len(),
+		Buffers: res.NumBuffers,
+		Elapsed: time.Since(t0),
+		Mean:    res.Mean,
+		Sigma:   res.Sigma,
+	}, nil
+}
+
+// RenderCapacity renders the capacity run.
+func RenderCapacity(w io.Writer, res *CapacityResult) error {
+	_, err := fmt.Fprintf(w,
+		"Capacity (footnote 4): %d-level H-tree, %d sinks, %d nodes -> %d buffers, RAT %.1f ± %.2f ps, %.2fs\n",
+		res.Levels, res.Sinks, res.Nodes, res.Buffers, res.Mean, res.Sigma, res.Elapsed.Seconds())
+	return err
+}

@@ -1,0 +1,168 @@
+package rctree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The plain-text tree format, one record per line:
+//
+//	tree v1
+//	wire <r kΩ/µm> <c fF/µm>
+//	driver <R kΩ>
+//	node <id> <driver|sink|steiner> <x> <y> <parent|-1> <wirelen> <bufok 0|1> <cap> <rat> <name>
+//
+// Lines starting with '#' and blank lines are ignored. Nodes must appear
+// in ID order with parents before children.
+
+// Write serializes the tree in the text format.
+func Write(w io.Writer, t *Tree) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "tree v1")
+	fmt.Fprintf(bw, "wire %g %g\n", t.Wire.R, t.Wire.C)
+	fmt.Fprintf(bw, "driver %g\n", t.DriverR)
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		bufok := 0
+		if n.BufferOK {
+			bufok = 1
+		}
+		fmt.Fprintf(bw, "node %d %s %g %g %d %g %d %g %g %s\n",
+			n.ID, n.Kind, n.Loc.X, n.Loc.Y, n.Parent, n.WireLen, bufok,
+			n.CapLoad, n.RAT, n.Name)
+	}
+	return bw.Flush()
+}
+
+// Read parses a tree from the text format and validates it.
+func Read(r io.Reader) (*Tree, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	t := &Tree{}
+	sawHeader := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "tree":
+			if len(fields) != 2 || fields[1] != "v1" {
+				return nil, fmt.Errorf("rctree: line %d: unsupported header %q", lineNo, line)
+			}
+			sawHeader = true
+		case "wire":
+			if !sawHeader {
+				return nil, fmt.Errorf("rctree: line %d: wire before header", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("rctree: line %d: wire needs 2 values", lineNo)
+			}
+			var err error
+			if t.Wire.R, err = strconv.ParseFloat(fields[1], 64); err != nil {
+				return nil, fmt.Errorf("rctree: line %d: bad wire r: %w", lineNo, err)
+			}
+			if t.Wire.C, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, fmt.Errorf("rctree: line %d: bad wire c: %w", lineNo, err)
+			}
+		case "driver":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("rctree: line %d: driver needs 1 value", lineNo)
+			}
+			var err error
+			if t.DriverR, err = strconv.ParseFloat(fields[1], 64); err != nil {
+				return nil, fmt.Errorf("rctree: line %d: bad driver R: %w", lineNo, err)
+			}
+		case "node":
+			n, err := parseNode(fields)
+			if err != nil {
+				return nil, fmt.Errorf("rctree: line %d: %w", lineNo, err)
+			}
+			if int(n.ID) != len(t.Nodes) {
+				return nil, fmt.Errorf("rctree: line %d: node ID %d out of order (want %d)",
+					lineNo, n.ID, len(t.Nodes))
+			}
+			t.Nodes = append(t.Nodes, n)
+			if n.Parent != NoNode {
+				if int(n.Parent) >= len(t.Nodes) {
+					return nil, fmt.Errorf("rctree: line %d: node %d references later parent %d",
+						lineNo, n.ID, n.Parent)
+				}
+				p := &t.Nodes[n.Parent]
+				p.Children = append(p.Children, n.ID)
+			}
+		default:
+			return nil, fmt.Errorf("rctree: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rctree: read: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("rctree: missing 'tree v1' header")
+	}
+	if len(t.Nodes) == 0 {
+		return nil, fmt.Errorf("rctree: no nodes")
+	}
+	t.Root = 0
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseNode(fields []string) (Node, error) {
+	if len(fields) < 10 {
+		return Node{}, fmt.Errorf("node record needs >= 10 fields, got %d", len(fields))
+	}
+	var n Node
+	id, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Node{}, fmt.Errorf("bad node id: %w", err)
+	}
+	n.ID = NodeID(id)
+	switch fields[2] {
+	case "driver":
+		n.Kind = KindDriver
+	case "sink":
+		n.Kind = KindSink
+	case "steiner":
+		n.Kind = KindSteiner
+	default:
+		return Node{}, fmt.Errorf("unknown node kind %q", fields[2])
+	}
+	floats := make([]float64, 0, 6)
+	for _, idx := range []int{3, 4, 6, 8, 9} {
+		v, err := strconv.ParseFloat(fields[idx], 64)
+		if err != nil {
+			return Node{}, fmt.Errorf("bad numeric field %d: %w", idx, err)
+		}
+		floats = append(floats, v)
+	}
+	n.Loc.X, n.Loc.Y = floats[0], floats[1]
+	n.WireLen = floats[2]
+	n.CapLoad, n.RAT = floats[3], floats[4]
+	parent, err := strconv.Atoi(fields[5])
+	if err != nil {
+		return Node{}, fmt.Errorf("bad parent: %w", err)
+	}
+	n.Parent = NodeID(parent)
+	switch fields[7] {
+	case "0":
+		n.BufferOK = false
+	case "1":
+		n.BufferOK = true
+	default:
+		return Node{}, fmt.Errorf("bad bufok flag %q", fields[7])
+	}
+	if len(fields) >= 11 {
+		n.Name = fields[10]
+	}
+	return n, nil
+}

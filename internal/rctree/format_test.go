@@ -1,0 +1,109 @@
+package rctree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vabuf/internal/geom"
+)
+
+func TestRoundTrip(t *testing.T) {
+	tr, _, _, _ := forkTree()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v\ntext:\n%s", err, buf.String())
+	}
+	if got.Len() != tr.Len() || got.Wire != tr.Wire || got.DriverR != tr.DriverR {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, tr)
+	}
+	for i := range tr.Nodes {
+		a, b := tr.Nodes[i], got.Nodes[i]
+		if a.Kind != b.Kind || a.Loc != b.Loc || a.Parent != b.Parent ||
+			a.WireLen != b.WireLen || a.CapLoad != b.CapLoad || a.RAT != b.RAT ||
+			a.BufferOK != b.BufferOK || a.Name != b.Name {
+			t.Errorf("node %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	// Same Elmore result.
+	e1, err := Evaluate(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Evaluate(got, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Errorf("evaluations differ after round trip: %+v vs %+v", e1, e2)
+	}
+}
+
+func TestReadIgnoresCommentsAndBlanks(t *testing.T) {
+	text := `# a comment
+tree v1
+
+wire 1e-4 0.2
+driver 0.5
+# nodes
+node 0 driver 0 0 -1 0 0 0 0 drv
+node 1 sink 100 0 0 100 1 10 0 s1
+`
+	tr, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 || tr.NumSinks() != 1 {
+		t.Errorf("parsed tree = %+v", tr)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"no header", "wire 1 1\n"},
+		{"bad header", "tree v99\n"},
+		{"unknown record", "tree v1\nbogus 1\n"},
+		{"wire fields", "tree v1\nwire 1\n"},
+		{"wire value", "tree v1\nwire x 1\n"},
+		{"driver fields", "tree v1\ndriver\n"},
+		{"driver value", "tree v1\ndriver z\n"},
+		{"empty", ""},
+		{"node short", "tree v1\nnode 0 driver 0 0\n"},
+		{"node id", "tree v1\nnode x driver 0 0 -1 0 0 0 0 drv\n"},
+		{"node kind", "tree v1\nnode 0 gate 0 0 -1 0 0 0 0 drv\n"},
+		{"node bufok", "tree v1\nnode 0 driver 0 0 -1 0 7 0 0 drv\n"},
+		{"node order", "tree v1\nwire 1e-4 0.2\ndriver 0.5\nnode 1 driver 0 0 -1 0 0 0 0 drv\n"},
+		{"forward parent", "tree v1\nwire 1e-4 0.2\ndriver 0.5\nnode 0 driver 0 0 -1 0 0 0 0 d\nnode 1 sink 1 1 2 1 1 1 0 s\n"},
+		{"bad numeric", "tree v1\nnode 0 driver a 0 -1 0 0 0 0 drv\n"},
+		{"bad parent", "tree v1\nnode 0 driver 0 0 q 0 0 0 0 drv\n"},
+		{"invalid tree", "tree v1\nwire 1e-4 0.2\ndriver 0.5\nnode 0 sink 0 0 -1 0 1 1 0 s\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: Read accepted bad input", c.name)
+		}
+	}
+}
+
+func TestReadWithoutName(t *testing.T) {
+	// The name field is optional on parse (10 fields).
+	text := "tree v1\nwire 1e-4 0.2\ndriver 0.5\n" +
+		"node 0 driver 0 0 -1 0 0 0 0\n" +
+		"node 1 sink 5 5 0 7 1 10 -3\n"
+	tr, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Node(1).RAT != -3 || tr.Node(1).CapLoad != 10 || tr.Node(1).WireLen != 7 {
+		t.Errorf("node 1 = %+v", tr.Node(1))
+	}
+	if tr.Node(1).Loc != (geom.Point{X: 5, Y: 5}) {
+		t.Errorf("node 1 loc = %v", tr.Node(1).Loc)
+	}
+}

@@ -1,0 +1,110 @@
+package rctree
+
+import (
+	"math"
+	"testing"
+
+	"vabuf/internal/geom"
+)
+
+func TestDefaultWireLibrary(t *testing.T) {
+	lib := DefaultWireLibrary()
+	if len(lib) != 3 {
+		t.Fatalf("library size = %d", len(lib))
+	}
+	// w1 must equal the tree default so that enabling wire sizing with the
+	// default library can never lose to the fixed-wire optimum.
+	if lib[0].Params != DefaultWire {
+		t.Errorf("w1 = %+v, want %+v", lib[0].Params, DefaultWire)
+	}
+	for i := 1; i < len(lib); i++ {
+		if !(lib[i].Params.R < lib[i-1].Params.R) {
+			t.Errorf("R not decreasing with width at %d", i)
+		}
+		if !(lib[i].Params.C > lib[i-1].Params.C) {
+			t.Errorf("C not increasing with width at %d", i)
+		}
+	}
+}
+
+func TestEvaluateSizedNilMatchesEvaluate(t *testing.T) {
+	tr, _, _, _ := forkTree()
+	a, err := Evaluate(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateSized(tr, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("EvaluateSized(nil) = %+v, Evaluate = %+v", b, a)
+	}
+}
+
+func TestEvaluateSizedWideWireHelpsResistivePath(t *testing.T) {
+	// A long wire into a big sink load behind a strong driver: widening
+	// (lower R, higher C) reduces both the R·C_load term and the r·c
+	// product, and the strong driver keeps the added wire cap cheap.
+	tr := New(DefaultWire, 0.01, geom.Point{})
+	sink := tr.AddSink(tr.Root, geom.Point{X: 5000, Y: 0}, 5000, 50, 0)
+	base, err := EvaluateSized(tr, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := DefaultWireLibrary()[2].Params // w4
+	sized, err := EvaluateSized(tr, nil, WireAssignment{sink: wide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sized.RootRAT <= base.RootRAT {
+		t.Errorf("widening did not help: %g vs %g", sized.RootRAT, base.RootRAT)
+	}
+	// Hand check against the formula.
+	l := 5000.0
+	load := 50.0
+	want := 0 - wide.R*l*load - 0.5*wide.R*wide.C*l*l
+	wantLoad := load + wide.C*l
+	want -= tr.DriverR * wantLoad
+	if math.Abs(sized.RootRAT-want) > 1e-9 {
+		t.Errorf("sized RAT = %g, want %g", sized.RootRAT, want)
+	}
+}
+
+func TestEvaluateSizedValidation(t *testing.T) {
+	tr, _, k := chainTree(100, 100)
+	good := WireParams{R: 1e-4, C: 0.2}
+	if _, err := EvaluateSized(tr, nil, WireAssignment{99: good}); err == nil {
+		t.Error("out-of-range wire node accepted")
+	}
+	if _, err := EvaluateSized(tr, nil, WireAssignment{tr.Root: good}); err == nil {
+		t.Error("wire override on root accepted")
+	}
+	if _, err := EvaluateSized(tr, nil, WireAssignment{k: {R: 0, C: 1}}); err == nil {
+		t.Error("zero-R override accepted")
+	}
+	if _, err := EvaluateSized(tr, Assignment{99: {}}, nil); err == nil {
+		t.Error("bad buffer assignment accepted")
+	}
+}
+
+func TestEvaluateSizedMixedEdges(t *testing.T) {
+	// Overriding one edge leaves the other on the tree default.
+	tr, s, a, b := forkTree()
+	_ = s
+	wide := DefaultWireLibrary()[1].Params
+	mixed, err := EvaluateSized(tr, nil, WireAssignment{a: wide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load at root changes only by the delta on edge a (150 µm).
+	base, err := Evaluate(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelta := (wide.C - tr.Wire.C) * 150
+	if math.Abs((mixed.RootLoad-base.RootLoad)-wantDelta) > 1e-9 {
+		t.Errorf("load delta = %g, want %g", mixed.RootLoad-base.RootLoad, wantDelta)
+	}
+	_ = b
+}

@@ -1,0 +1,182 @@
+// Package report renders the experiment harness output: fixed-width text
+// tables in the style of the paper's Tables 1–5 and small ASCII plots for
+// the figures (runtime scaling, PDFs, probability curves).
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows of string cells and renders them with aligned
+// columns.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	hasRule []bool // horizontal rule before this row
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// AddRow appends one row; cells beyond the header width are dropped and
+// missing cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+	t.hasRule = append(t.hasRule, false)
+}
+
+// AddRule inserts a horizontal rule at this point in the row sequence.
+func (t *Table) AddRule() {
+	t.rows = append(t.rows, nil)
+	t.hasRule = append(t.hasRule, true)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRule := func() {
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		total += 2 * (len(widths) - 1)
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	writeRule()
+	for i, row := range t.rows {
+		if t.hasRule[i] {
+			writeRule()
+			continue
+		}
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// F formats a float with the given precision, for table cells.
+func F(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// Pct formats a ratio as a percentage cell.
+func Pct(v float64, prec int) string {
+	return fmt.Sprintf("%.*f%%", prec, 100*v)
+}
+
+// LinePlot renders series of (x, y) points as a crude ASCII scatter chart
+// sized rows x cols. Multiple series get distinct marks.
+type LinePlot struct {
+	Title      string
+	XLabel     string
+	YLabel     string
+	Rows, Cols int
+	series     []plotSeries
+}
+
+type plotSeries struct {
+	mark rune
+	xs   []float64
+	ys   []float64
+}
+
+// NewLinePlot creates an empty plot with a default 20x64 canvas.
+func NewLinePlot(title, xlabel, ylabel string) *LinePlot {
+	return &LinePlot{Title: title, XLabel: xlabel, YLabel: ylabel, Rows: 20, Cols: 64}
+}
+
+// Add appends a series with the given point mark.
+func (p *LinePlot) Add(mark rune, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("report: series length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("report: empty series")
+	}
+	p.series = append(p.series, plotSeries{mark: mark, xs: xs, ys: ys})
+	return nil
+}
+
+// Render draws the plot.
+func (p *LinePlot) Render(w io.Writer) error {
+	if len(p.series) == 0 {
+		return fmt.Errorf("report: plot has no series")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.xs {
+			minX = math.Min(minX, s.xs[i])
+			maxX = math.Max(maxX, s.xs[i])
+			minY = math.Min(minY, s.ys[i])
+			maxY = math.Max(maxY, s.ys[i])
+		}
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+	grid := make([][]rune, p.Rows)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", p.Cols))
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			col := int((s.xs[i] - minX) / (maxX - minX) * float64(p.Cols-1))
+			row := int((s.ys[i] - minY) / (maxY - minY) * float64(p.Rows-1))
+			r := p.Rows - 1 - row // origin at the bottom
+			grid[r][col] = s.mark
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	fmt.Fprintf(&b, "%s (vertical: %.4g .. %.4g)\n", p.YLabel, minY, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "+%s\n", strings.Repeat("-", p.Cols))
+	fmt.Fprintf(&b, " %s (horizontal: %.4g .. %.4g)\n", p.XLabel, minX, maxX)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

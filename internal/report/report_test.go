@@ -1,0 +1,104 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table X: demo", "Bench", "RAT", "Yield")
+	tb.AddRow("p1", "-2673.5", "99.6%")
+	tb.AddRow("r5", "-2934.9", "83.5%")
+	tb.AddRule()
+	tb.AddRow("Avg", "-9.7%", "45.0%")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table X: demo", "Bench", "p1", "r5", "Avg", "83.5%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + rule + 2 rows + rule + avg = 7 lines.
+	if len(lines) != 7 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every data line has the same prefix width up to col 2.
+	if !strings.Contains(lines[1], "Bench") {
+		t.Errorf("header missing: %q", lines[1])
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("only-a")
+	tb.AddRow("x", "y", "dropped-cell")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "dropped-cell") {
+		t.Error("extra cell not dropped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Errorf("F = %q", F(3.14159, 2))
+	}
+	if Pct(0.123, 1) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(0.123, 1))
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	p := NewLinePlot("Fig: runtime", "sinks", "seconds")
+	if err := p.Add('*', []float64{1, 2, 3}, []float64{1, 4, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add('o', []float64{1, 2, 3}, []float64{2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := p.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("marks missing from plot:\n%s", out)
+	}
+	if !strings.Contains(out, "Fig: runtime") || !strings.Contains(out, "sinks") {
+		t.Error("labels missing")
+	}
+}
+
+func TestLinePlotErrors(t *testing.T) {
+	p := NewLinePlot("", "", "")
+	if err := p.Add('*', []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := p.Add('*', nil, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	var sb strings.Builder
+	if err := p.Render(&sb); err == nil {
+		t.Error("empty plot rendered")
+	}
+}
+
+func TestLinePlotDegenerateRanges(t *testing.T) {
+	p := NewLinePlot("", "x", "y")
+	if err := p.Add('#', []float64{5, 5}, []float64{7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := p.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "#") {
+		t.Error("degenerate-range point not drawn")
+	}
+}

@@ -1,0 +1,175 @@
+package skew
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"vabuf/internal/device"
+	"vabuf/internal/rctree"
+	"vabuf/internal/variation"
+)
+
+func sortSlice(list []*cand, less func(a, b *cand) bool) {
+	sort.Slice(list, func(i, j int) bool { return less(list[i], list[j]) })
+}
+
+// Propagate evaluates a fixed buffered clock tree: it returns the
+// canonical forms of the skew (Dmax − Dmin) and the insertion latency
+// (Dmax) at the root, independently of the optimizer.
+func Propagate(tree *rctree.Tree, lib device.Library, assign map[rctree.NodeID]int,
+	model *variation.Model) (skewForm, latency variation.Form, err error) {
+	if err := tree.Validate(); err != nil {
+		return variation.Form{}, variation.Form{}, err
+	}
+	space := variation.NewSpace()
+	if model != nil {
+		space = model.Space
+	}
+	for id, bi := range assign {
+		if id < 0 || int(id) >= tree.Len() || !tree.Node(id).BufferOK {
+			return variation.Form{}, variation.Form{}, fmt.Errorf("skew: bad assignment node %d", id)
+		}
+		if bi < 0 || bi >= len(lib) {
+			return variation.Form{}, variation.Form{}, fmt.Errorf("skew: buffer index %d out of range", bi)
+		}
+	}
+	type state struct{ L, dmax, dmin variation.Form }
+	vals := make([]state, tree.Len())
+	r := tree.Wire.R
+	c := tree.Wire.C
+	for _, id := range tree.PostOrder() {
+		n := tree.Node(id)
+		var cur state
+		switch n.Kind {
+		case rctree.KindSink:
+			cur = state{
+				L:    variation.Const(n.CapLoad),
+				dmax: variation.Const(0),
+				dmin: variation.Const(0),
+			}
+		default:
+			first := true
+			for _, cid := range n.Children {
+				cn := tree.Node(cid)
+				child := vals[cid]
+				if l := cn.WireLen; l > 0 {
+					half := 0.5 * r * c * l * l
+					child.dmax = child.dmax.AXPY(r*l, child.L).Shift(half)
+					child.dmin = child.dmin.AXPY(r*l, child.L).Shift(half)
+					child.L = child.L.Shift(c * l)
+				}
+				if first {
+					cur = child
+					first = false
+				} else {
+					cur.L = cur.L.Add(child.L)
+					cur.dmax = variation.Max(cur.dmax, child.dmax, space).Form
+					cur.dmin = variation.Min(cur.dmin, child.dmin, space).Form
+				}
+			}
+		}
+		if bi, ok := assign[id]; ok {
+			b := lib[bi]
+			dev := variation.Form{}
+			if model != nil {
+				dev = model.Deviation(int(id), n.Loc)
+			}
+			cbForm := variation.Const(b.Cb0).Add(dev.Scale(b.Cb0))
+			d := variation.Const(b.Tb0).Add(dev.Scale(b.Tb0)).AXPY(b.Rb, cur.L)
+			cur = state{
+				L:    cbForm,
+				dmax: cur.dmax.Add(d),
+				dmin: cur.dmin.Add(d),
+			}
+		}
+		vals[id] = cur
+	}
+	root := vals[tree.Root]
+	return root.dmax.Sub(root.dmin), root.dmax, nil
+}
+
+// MonteCarlo samples the model and computes the exact per-sample skew
+// (max minus min source-to-sink Elmore delay) of the buffered tree.
+func MonteCarlo(tree *rctree.Tree, lib device.Library, assign map[rctree.NodeID]int,
+	model *variation.Model, n int, seed int64) ([]float64, error) {
+	if model == nil {
+		return nil, fmt.Errorf("skew: MonteCarlo requires a variation model")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("skew: sample count %d must be positive", n)
+	}
+	type inst struct {
+		id  rctree.NodeID
+		b   device.BufferType
+		dev variation.Form
+	}
+	insts := make([]inst, 0, len(assign))
+	for id, bi := range assign {
+		if bi < 0 || bi >= len(lib) || id < 0 || int(id) >= tree.Len() {
+			return nil, fmt.Errorf("skew: bad assignment entry %d -> %d", id, bi)
+		}
+		insts = append(insts, inst{id: id, b: lib[bi], dev: model.Deviation(int(id), tree.Node(id).Loc)})
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i].id < insts[j].id })
+	rng := rand.New(rand.NewSource(seed))
+	order := tree.PostOrder()
+	type dstate struct{ L, dmax, dmin float64 }
+	vals := make([]dstate, tree.Len())
+	bv := make(map[rctree.NodeID]rctree.BufferValues, len(insts))
+	out := make([]float64, 0, n)
+	var buf []float64
+	r := tree.Wire.R
+	c := tree.Wire.C
+	for s := 0; s < n; s++ {
+		buf = model.Space.Sample(rng, buf)
+		for _, in := range insts {
+			d := in.dev.Eval(buf)
+			bv[in.id] = rctree.BufferValues{
+				C: in.b.Cb0 * (1 + d),
+				T: in.b.Tb0 * (1 + d),
+				R: in.b.Rb,
+			}
+		}
+		for _, id := range order {
+			nn := tree.Node(id)
+			var cur dstate
+			switch nn.Kind {
+			case rctree.KindSink:
+				cur = dstate{L: nn.CapLoad}
+			default:
+				first := true
+				for _, cid := range nn.Children {
+					cn := tree.Node(cid)
+					child := vals[cid]
+					if l := cn.WireLen; l > 0 {
+						d := r*l*child.L + 0.5*r*c*l*l
+						child.dmax += d
+						child.dmin += d
+						child.L += c * l
+					}
+					if first {
+						cur = child
+						first = false
+					} else {
+						cur.L += child.L
+						if child.dmax > cur.dmax {
+							cur.dmax = child.dmax
+						}
+						if child.dmin < cur.dmin {
+							cur.dmin = child.dmin
+						}
+					}
+				}
+			}
+			if v, ok := bv[id]; ok {
+				d := v.T + v.R*cur.L
+				cur = dstate{L: v.C, dmax: cur.dmax + d, dmin: cur.dmin + d}
+			}
+			vals[id] = cur
+		}
+		root := vals[tree.Root]
+		out = append(out, root.dmax-root.dmin)
+	}
+	return out, nil
+}

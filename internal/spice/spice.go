@@ -1,0 +1,280 @@
+// Package spice is the device-characterization substrate standing in for
+// the SPICE + 65 nm BSIM flow of §3.1. It models a buffer output stage with
+// the alpha-power-law MOSFET model, including a short-channel V_th
+// roll-off so that delay is genuinely *nonlinear* in effective channel
+// length, and extracts the three buffer figures of merit the paper uses —
+// input capacitance C_b, intrinsic delay T_b and output resistance R_b —
+// by fixed-step transient simulation of the stage discharging capacitive
+// loads.
+//
+// Units: V, mA, kΩ, fF, ps, µm (1 fF·V/ps = 1 mA; 1 V/mA = 1 kΩ).
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// DeviceParams describes one buffer design in a technology.
+type DeviceParams struct {
+	// Vdd is the supply voltage (V).
+	Vdd float64
+	// Vth0 is the long-channel threshold voltage (V).
+	Vth0 float64
+	// Alpha is the velocity-saturation exponent of the alpha-power model
+	// (2.0 = classic square law, ~1.3 at 65 nm).
+	Alpha float64
+	// K is the transconductance scale (mA·µm^(Alpha-?) lumped constant):
+	// Idsat = K · (W/L) · (Vdd - Vth(L))^Alpha.
+	K float64
+	// W is the output-stage transistor width (µm); buffer "size".
+	W float64
+	// Lnom is the nominal effective channel length (µm).
+	Lnom float64
+	// Cox is the gate oxide capacitance per area (fF/µm²).
+	Cox float64
+	// Cov is the overlap/fringe capacitance per width (fF/µm).
+	Cov float64
+	// Cpar is the parasitic self-load of the output stage per width (fF/µm).
+	Cpar float64
+	// Ksc and Lsc set the short-channel V_th roll-off:
+	// Vth(L) = Vth0 - Ksc·exp(-L/Lsc). This is the dominant nonlinearity
+	// that makes T_b(L_eff) non-linear.
+	Ksc, Lsc float64
+	// StageRatio is the width ratio between the buffer's first (input)
+	// inverter and its output stage; the input cap is set by the first
+	// stage, the drive by the second.
+	StageRatio float64
+}
+
+// Corner selects a process corner for corner-based (non-statistical)
+// characterization — the traditional methodology the statistical approach
+// replaces.
+type Corner uint8
+
+// Process corners.
+const (
+	// CornerTT is the typical corner (the default device).
+	CornerTT Corner = iota
+	// CornerSS is slow-slow: weak drive and high threshold.
+	CornerSS
+	// CornerFF is fast-fast: strong drive and low threshold.
+	CornerFF
+)
+
+// String implements fmt.Stringer.
+func (c Corner) String() string {
+	switch c {
+	case CornerTT:
+		return "TT"
+	case CornerSS:
+		return "SS"
+	case CornerFF:
+		return "FF"
+	default:
+		return fmt.Sprintf("corner(%d)", uint8(c))
+	}
+}
+
+// AtCorner returns the device shifted to a process corner: ±20% drive
+// strength and ∓50 mV threshold, the classic 3-sigma-ish corner recipe.
+func (d DeviceParams) AtCorner(c Corner) DeviceParams {
+	switch c {
+	case CornerSS:
+		d.K *= 0.8
+		d.Vth0 += 0.05
+	case CornerFF:
+		d.K *= 1.2
+		d.Vth0 -= 0.05
+	}
+	return d
+}
+
+// Default65nm returns a 65 nm-flavoured device with output width w (µm).
+// The transconductance is a low-power corner (weak drive), which puts the
+// buffered designs in the gate-delay-dominated regime the paper's
+// benchmarks live in (total intrinsic buffer delay ~60 ps).
+func Default65nm(w float64) DeviceParams {
+	return DeviceParams{
+		Vdd:        1.1,
+		Vth0:       0.32,
+		Alpha:      1.3,
+		K:          0.025,
+		W:          w,
+		Lnom:       0.065,
+		Cox:        15.0,
+		Cov:        0.35,
+		Cpar:       12.0,
+		Ksc:        0.05,
+		Lsc:        0.020,
+		StageRatio: 4,
+	}
+}
+
+// Validate reports configuration problems.
+func (d DeviceParams) Validate() error {
+	switch {
+	case d.Vdd <= 0:
+		return fmt.Errorf("spice: Vdd must be positive, got %g", d.Vdd)
+	case d.W <= 0:
+		return fmt.Errorf("spice: width must be positive, got %g", d.W)
+	case d.Lnom <= 0:
+		return fmt.Errorf("spice: Lnom must be positive, got %g", d.Lnom)
+	case d.K <= 0:
+		return fmt.Errorf("spice: K must be positive, got %g", d.K)
+	case d.Alpha < 1 || d.Alpha > 2:
+		return fmt.Errorf("spice: Alpha %g outside [1, 2]", d.Alpha)
+	case d.StageRatio <= 0:
+		return fmt.Errorf("spice: StageRatio must be positive, got %g", d.StageRatio)
+	case d.Vth0 >= d.Vdd:
+		return fmt.Errorf("spice: Vth0 %g >= Vdd %g", d.Vth0, d.Vdd)
+	}
+	return nil
+}
+
+// Vth returns the threshold voltage at effective channel length l (µm),
+// including the short-channel roll-off.
+func (d DeviceParams) Vth(l float64) float64 {
+	return d.Vth0 - d.Ksc*math.Exp(-l/d.Lsc)
+}
+
+// Idsat returns the saturation current (mA) of the output stage at channel
+// length l.
+func (d DeviceParams) Idsat(l float64) float64 {
+	vgt := d.Vdd - d.Vth(l)
+	if vgt <= 0 {
+		return 0
+	}
+	return d.K * (d.W / l) * math.Pow(vgt, d.Alpha)
+}
+
+// vdsat returns the saturation drain voltage of the alpha-power model.
+func (d DeviceParams) vdsat(l float64) float64 {
+	vgt := d.Vdd - d.Vth(l)
+	if vgt <= 0 {
+		return 0
+	}
+	// Sakurai–Newton: Vdsat scales like vgt^(alpha/2); normalized so the
+	// classic square law gives Vdsat = vgt.
+	return vgt * math.Pow(vgt/d.Vdd, d.Alpha/2-1)
+}
+
+// GateCap returns the input capacitance (fF) of the buffer at channel
+// length l: the first-stage inverter gate.
+func (d DeviceParams) GateCap(l float64) float64 {
+	win := d.W / d.StageRatio
+	return d.Cox*win*l + d.Cov*win
+}
+
+// outCurrent returns the pull-down current (mA) at output voltage v for
+// channel length l: saturation current above vdsat, the alpha-power
+// triode expression below.
+func (d DeviceParams) outCurrent(v, l float64) float64 {
+	isat := d.Idsat(l)
+	if isat == 0 {
+		return 0
+	}
+	vd := d.vdsat(l)
+	if v >= vd || vd == 0 {
+		return isat
+	}
+	u := v / vd
+	return isat * u * (2 - u)
+}
+
+// TransientDelay integrates the output node discharging from Vdd through
+// the output stage into total load cap (fF), returning the time (ps) for
+// the output to cross Vdd/2. It uses classical RK4 with a step chosen from
+// the cheap RC estimate of the delay.
+func (d DeviceParams) TransientDelay(l, load float64) float64 {
+	if load <= 0 {
+		return 0
+	}
+	isat := d.Idsat(l)
+	if isat == 0 {
+		return math.Inf(1)
+	}
+	// Step size: ~1/400 of the crude C·V/I delay estimate.
+	est := load * d.Vdd / (2 * isat)
+	h := est / 400
+	// Hoist the L-dependent model evaluation out of the integration loop.
+	vd := d.vdsat(l)
+	dv := func(v float64) float64 {
+		i := isat
+		if v < vd && vd > 0 {
+			u := v / vd
+			i = isat * u * (2 - u)
+		}
+		return -i / load
+	}
+	v := d.Vdd
+	t := 0.0
+	target := d.Vdd / 2
+	for v > target {
+		k1 := dv(v)
+		k2 := dv(v + 0.5*h*k1)
+		k3 := dv(v + 0.5*h*k2)
+		k4 := dv(v + h*k3)
+		next := v + h/6*(k1+2*k2+2*k3+k4)
+		if next <= target {
+			// Linear interpolation inside the final step.
+			frac := (v - target) / (v - next)
+			return t + frac*h
+		}
+		v = next
+		t += h
+		if t > 1e7 { // 10 µs: something is badly wrong
+			return math.Inf(1)
+		}
+	}
+	return t
+}
+
+// Characterization holds the three buffer figures of merit at one channel
+// length.
+type Characterization struct {
+	// Cb is the buffer input capacitance (fF).
+	Cb float64
+	// Tb is the intrinsic (unloaded) delay of the two-stage buffer (ps).
+	Tb float64
+	// Rb is the effective output resistance (kΩ), extracted from the slope
+	// of delay versus load.
+	Rb float64
+}
+
+// Characterize runs the "SPICE deck" for one channel length: it measures
+// the buffer's input cap analytically, its intrinsic delay by simulating
+// both stages under self-load only, and its output resistance from the
+// delay-versus-load slope at two load points.
+func (d DeviceParams) Characterize(l float64) (Characterization, error) {
+	if err := d.Validate(); err != nil {
+		return Characterization{}, err
+	}
+	if l <= 0 {
+		return Characterization{}, fmt.Errorf("spice: channel length must be positive, got %g", l)
+	}
+	cb := d.GateCap(l)
+
+	// First stage: a 1/StageRatio-width copy of the output device driving
+	// the output stage's gate.
+	first := d
+	first.W = d.W / d.StageRatio
+	selfIn := first.Cpar * first.W
+	gate2 := d.Cox*d.W*l + d.Cov*d.W
+	t1 := first.TransientDelay(l, selfIn+gate2)
+
+	selfOut := d.Cpar * d.W
+	t2 := d.TransientDelay(l, selfOut)
+	tb := t1 + t2
+
+	// Output resistance: slope of the loaded second-stage delay.
+	load1 := selfOut + 2*cb
+	load2 := selfOut + 20*cb
+	d1 := d.TransientDelay(l, load1)
+	d2 := d.TransientDelay(l, load2)
+	rb := (d2 - d1) / (load2 - load1)
+	if math.IsInf(tb, 0) || math.IsInf(rb, 0) || rb <= 0 {
+		return Characterization{}, fmt.Errorf("spice: characterization diverged at L=%g", l)
+	}
+	return Characterization{Cb: cb, Tb: tb, Rb: rb}, nil
+}

@@ -1,0 +1,62 @@
+package sta
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vabuf/internal/variation"
+)
+
+// MonteCarlo samples the variation space n times and evaluates the graph
+// deterministically per sample, returning per-sample arrival times at
+// every output pin (indexed as out[outputIdx][sample]) in the order of
+// g.Outputs(). It is the exact oracle the canonical MAX approximates.
+func MonteCarlo(g *Graph, inputs map[PinID]variation.Form, space *variation.Space,
+	n int, seed int64) ([][]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sta: sample count %d must be positive", n)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	outs := g.Outputs()
+	res := make([][]float64, len(outs))
+	for i := range res {
+		res[i] = make([]float64, n)
+	}
+	outIdx := make(map[PinID]int, len(outs))
+	for i, id := range outs {
+		outIdx[id] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	arr := make([]float64, g.NumPins())
+	seen := make([]bool, g.NumPins())
+	var buf []float64
+	for s := 0; s < n; s++ {
+		buf = space.Sample(rng, buf)
+		for i := range seen {
+			seen[i] = false
+			arr[i] = 0
+		}
+		for _, id := range g.Inputs() {
+			if f, ok := inputs[id]; ok {
+				arr[id] = f.Eval(buf)
+			}
+			seen[id] = true
+		}
+		for _, id := range order {
+			for _, a := range g.out[id] {
+				cand := arr[id] + a.Delay.Eval(buf)
+				if !seen[a.To] || cand > arr[a.To] {
+					arr[a.To] = cand
+					seen[a.To] = true
+				}
+			}
+		}
+		for _, id := range outs {
+			res[outIdx[id]][s] = arr[id]
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,249 @@
+// Package sta implements block-based statistical static timing analysis
+// over combinational timing graphs — the substrate of the paper's §1
+// references [1] and [3], and the context the first-order variation model
+// of §3 was developed in. Arrival times propagate through the DAG as
+// canonical first-order forms: arc delays add, converging paths take the
+// statistical MAX (so path-reconvergence correlation is handled by the
+// shared variation sources), and required times propagate backward with
+// the statistical MIN. Slacks, endpoint criticalities, and a Monte-Carlo
+// oracle complete the kit.
+package sta
+
+import (
+	"fmt"
+
+	"vabuf/internal/stats"
+	"vabuf/internal/variation"
+)
+
+// PinID identifies one pin (graph vertex).
+type PinID int32
+
+// Pin is a vertex of the timing graph.
+type Pin struct {
+	ID   PinID
+	Name string
+}
+
+// Arc is a directed timing arc with a (possibly varying) delay.
+type Arc struct {
+	From, To PinID
+	Delay    variation.Form
+}
+
+// Graph is a combinational timing graph: a DAG of pins and delay arcs.
+type Graph struct {
+	pins []Pin
+	// out[from] lists the arcs leaving each pin.
+	out [][]Arc
+	// in-degree bookkeeping for topological sorting.
+	indeg []int
+}
+
+// NewGraph returns an empty timing graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddPin registers a pin and returns its ID.
+func (g *Graph) AddPin(name string) PinID {
+	id := PinID(len(g.pins))
+	if name == "" {
+		name = fmt.Sprintf("p%d", id)
+	}
+	g.pins = append(g.pins, Pin{ID: id, Name: name})
+	g.out = append(g.out, nil)
+	g.indeg = append(g.indeg, 0)
+	return id
+}
+
+// NumPins returns the number of registered pins.
+func (g *Graph) NumPins() int { return len(g.pins) }
+
+// Pin returns pin metadata.
+func (g *Graph) Pin(id PinID) Pin { return g.pins[id] }
+
+// AddArc adds a delay arc between two existing pins.
+func (g *Graph) AddArc(from, to PinID, delay variation.Form) error {
+	if int(from) >= len(g.pins) || from < 0 {
+		return fmt.Errorf("sta: arc source %d out of range", from)
+	}
+	if int(to) >= len(g.pins) || to < 0 {
+		return fmt.Errorf("sta: arc target %d out of range", to)
+	}
+	if from == to {
+		return fmt.Errorf("sta: self-arc on pin %d", from)
+	}
+	g.out[from] = append(g.out[from], Arc{From: from, To: to, Delay: delay})
+	g.indeg[to]++
+	return nil
+}
+
+// Inputs returns all pins with no incoming arcs.
+func (g *Graph) Inputs() []PinID {
+	var out []PinID
+	for i, d := range g.indeg {
+		if d == 0 {
+			out = append(out, PinID(i))
+		}
+	}
+	return out
+}
+
+// Outputs returns all pins with no outgoing arcs.
+func (g *Graph) Outputs() []PinID {
+	var out []PinID
+	for i, arcs := range g.out {
+		if len(arcs) == 0 {
+			out = append(out, PinID(i))
+		}
+	}
+	return out
+}
+
+// TopoOrder returns a topological order of all pins, or an error if the
+// graph has a cycle.
+func (g *Graph) TopoOrder() ([]PinID, error) {
+	indeg := make([]int, len(g.indeg))
+	copy(indeg, g.indeg)
+	queue := make([]PinID, 0, len(g.pins))
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, PinID(i))
+		}
+	}
+	order := make([]PinID, 0, len(g.pins))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, a := range g.out[id] {
+			indeg[a.To]--
+			if indeg[a.To] == 0 {
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	if len(order) != len(g.pins) {
+		return nil, fmt.Errorf("sta: timing graph has a cycle (%d of %d pins ordered)",
+			len(order), len(g.pins))
+	}
+	return order, nil
+}
+
+// Result holds the analysis outputs, indexed by PinID.
+type Result struct {
+	// Arrival is the statistical arrival time at each pin.
+	Arrival []variation.Form
+	// Required is the statistical required time at each pin (backward
+	// pass); Slack = Required − Arrival.
+	Required []variation.Form
+	Slack    []variation.Form
+	// EndpointCriticality maps each output pin to the probability that it
+	// has the smallest slack among the outputs.
+	EndpointCriticality map[PinID]float64
+	// WNS is the statistical worst negative slack form: the MIN of the
+	// output slacks.
+	WNS variation.Form
+}
+
+// Analyze runs the forward (arrival, statistical MAX) and backward
+// (required, statistical MIN) passes. inputs gives arrival-time forms at
+// the primary inputs (missing inputs default to 0); required gives
+// required times at the primary outputs (missing outputs default to 0).
+func Analyze(g *Graph, inputs, required map[PinID]variation.Form,
+	space *variation.Space) (*Result, error) {
+	if g.NumPins() == 0 {
+		return nil, fmt.Errorf("sta: empty graph")
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumPins()
+	arrival := make([]variation.Form, n)
+	seen := make([]bool, n)
+	for _, id := range g.Inputs() {
+		if f, ok := inputs[id]; ok {
+			arrival[id] = f
+		}
+		seen[id] = true
+	}
+	for _, id := range order {
+		for _, a := range g.out[id] {
+			cand := arrival[id].Add(a.Delay)
+			if !seen[a.To] {
+				arrival[a.To] = cand
+				seen[a.To] = true
+			} else {
+				arrival[a.To] = variation.Max(arrival[a.To], cand, space).Form
+			}
+		}
+	}
+	// Backward pass.
+	req := make([]variation.Form, n)
+	reqSeen := make([]bool, n)
+	for _, id := range g.Outputs() {
+		if f, ok := required[id]; ok {
+			req[id] = f
+		}
+		reqSeen[id] = true
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		for _, a := range g.out[id] {
+			cand := req[a.To].Sub(a.Delay)
+			if !reqSeen[id] {
+				req[id] = cand
+				reqSeen[id] = true
+			} else {
+				req[id] = variation.Min(req[id], cand, space).Form
+			}
+		}
+	}
+	slack := make([]variation.Form, n)
+	for i := range slack {
+		slack[i] = req[i].Sub(arrival[i])
+	}
+	res := &Result{
+		Arrival:             arrival,
+		Required:            req,
+		Slack:               slack,
+		EndpointCriticality: make(map[PinID]float64),
+	}
+	// Endpoint criticality and WNS over the outputs via sequential
+	// statistical MIN with tightness-probability mass splitting.
+	outs := g.Outputs()
+	first := true
+	shares := make([]float64, 0, len(outs))
+	for _, id := range outs {
+		if first {
+			res.WNS = slack[id]
+			shares = append(shares, 1)
+			first = false
+			continue
+		}
+		m := variation.Min(res.WNS, slack[id], space)
+		t := m.Moments.Tightness // P(accumulated < new)
+		for j := range shares {
+			shares[j] *= t
+		}
+		shares = append(shares, 1-t)
+		res.WNS = m.Form
+	}
+	for i, id := range outs {
+		res.EndpointCriticality[id] = shares[i]
+	}
+	return res, nil
+}
+
+// YieldAtClock returns P(WNS >= 0) when the output required times are set
+// to the clock period: the timing yield of the block.
+func (r *Result) YieldAtClock(space *variation.Space) float64 {
+	sigma := r.WNS.Sigma(space)
+	if sigma == 0 {
+		if r.WNS.Nominal >= 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - stats.Phi(-r.WNS.Nominal/sigma)
+}

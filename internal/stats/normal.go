@@ -1,0 +1,118 @@
+// Package stats implements the probability and numerical machinery the
+// variation-aware buffer inserter is built on: the standard normal CDF/PDF
+// and quantile, closed-form comparison of two correlated normal variables
+// (eq. 8–9 of the paper), Clark's moments for the MIN of two correlated
+// normals (the tightness-probability construction of eq. 38–40), simple
+// least-squares fitting (used to extract first-order device sensitivities),
+// and descriptive statistics, histograms, and goodness-of-fit distances for
+// the Monte-Carlo validation experiments.
+package stats
+
+import "math"
+
+// InvSqrt2Pi is 1/sqrt(2*pi), the peak of the standard normal PDF.
+const InvSqrt2Pi = 0.3989422804014327
+
+// Phi returns the standard normal cumulative distribution function at x.
+func Phi(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// PhiPDF returns the standard normal probability density function at x.
+func PhiPDF(x float64) float64 {
+	return InvSqrt2Pi * math.Exp(-0.5*x*x)
+}
+
+// Quantile returns the standard normal quantile (inverse CDF) at p in
+// (0, 1). Quantile(0.5) == 0. It returns ±Inf at p == 0 or p == 1 and NaN
+// outside [0, 1].
+func Quantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return math.Inf(-1)
+	case p == 1:
+		return math.Inf(1)
+	}
+	x := acklam(p)
+	// One Halley refinement step pushes the approximation to near machine
+	// precision across the whole open interval.
+	e := Phi(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(0.5*x*x)
+	x -= u / (1 + 0.5*x*u)
+	return x
+}
+
+// acklam is Peter Acklam's rational approximation to the inverse normal
+// CDF, accurate to about 1.15e-9 before refinement.
+func acklam(p float64) float64 {
+	const (
+		a1 = -3.969683028665376e+01
+		a2 = 2.209460984245205e+02
+		a3 = -2.759285104469687e+02
+		a4 = 1.383577518672690e+02
+		a5 = -3.066479806614716e+01
+		a6 = 2.506628277459239e+00
+
+		b1 = -5.447609879822406e+01
+		b2 = 1.615858368580409e+02
+		b3 = -1.556989798598866e+02
+		b4 = 6.680131188771972e+01
+		b5 = -1.328068155288572e+01
+
+		c1 = -7.784894002430293e-03
+		c2 = -3.223964580411365e-01
+		c3 = -2.400758277161838e+00
+		c4 = -2.549732539343734e+00
+		c5 = 4.374664141464968e+00
+		c6 = 2.938163982698783e+00
+
+		d1 = 7.784695709041462e-03
+		d2 = 3.224671290700398e-01
+		d3 = 2.445134137142996e+00
+		d4 = 3.754408661907416e+00
+
+		plow  = 0.02425
+		phigh = 1 - plow
+	)
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	}
+}
+
+// NormalPDF returns the density of N(mu, sigma) at x. sigma must be
+// positive.
+func NormalPDF(x, mu, sigma float64) float64 {
+	z := (x - mu) / sigma
+	return PhiPDF(z) / sigma
+}
+
+// NormalCDF returns P(X <= x) for X ~ N(mu, sigma). A zero sigma yields a
+// step function at mu.
+func NormalCDF(x, mu, sigma float64) float64 {
+	if sigma == 0 {
+		if x < mu {
+			return 0
+		}
+		return 1
+	}
+	return Phi((x - mu) / sigma)
+}
+
+// NormalQuantile returns the p-quantile of N(mu, sigma).
+func NormalQuantile(p, mu, sigma float64) float64 {
+	return mu + sigma*Quantile(p)
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhiKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.6448536269514722, 0.95},
+		{2, 0.9772498680518208},
+		{-3, 0.0013498980316300933},
+	}
+	for _, c := range cases {
+		if got := Phi(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Phi(%g) = %.15g, want %.15g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestPhiSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 40)
+		return math.Abs(Phi(-x)-(1-Phi(x))) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhiMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 30)
+		b = math.Mod(b, 30)
+		if a > b {
+			a, b = b, a
+		}
+		return Phi(a) <= Phi(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhiPDFIntegratesToOne(t *testing.T) {
+	// Trapezoidal integration over [-10, 10].
+	const n = 20000
+	h := 20.0 / n
+	sum := 0.5 * (PhiPDF(-10) + PhiPDF(10))
+	for i := 1; i < n; i++ {
+		sum += PhiPDF(-10 + float64(i)*h)
+	}
+	sum *= h
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("integral of phi = %.12f, want 1", sum)
+	}
+}
+
+func TestPhiPDFIsDerivativeOfPhi(t *testing.T) {
+	for _, x := range []float64{-3, -1.2, 0, 0.5, 2.7} {
+		const h = 1e-6
+		num := (Phi(x+h) - Phi(x-h)) / (2 * h)
+		if math.Abs(num-PhiPDF(x)) > 1e-8 {
+			t.Errorf("d/dx Phi at %g = %g, PhiPDF = %g", x, num, PhiPDF(x))
+		}
+	}
+}
+
+func TestQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.95, 1.6448536269514722},
+		{0.05, -1.6448536269514722},
+		{0.975, 1.959963984540054},
+		{0.8413447460685429, 1},
+	}
+	for _, c := range cases {
+		if got := Quantile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %.12g, want %.12g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if !math.IsInf(Quantile(0), -1) {
+		t.Error("Quantile(0) should be -Inf")
+	}
+	if !math.IsInf(Quantile(1), +1) {
+		t.Error("Quantile(1) should be +Inf")
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(Quantile(p)) {
+			t.Errorf("Quantile(%g) should be NaN", p)
+		}
+	}
+}
+
+func TestQuantileRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		// Map into (1e-12, 1-1e-12).
+		p := math.Abs(math.Mod(raw, 1))
+		if p < 1e-12 || p > 1-1e-12 {
+			return true
+		}
+		x := Quantile(p)
+		return math.Abs(Phi(x)-p) < 1e-11
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileTails(t *testing.T) {
+	// Deep tails should still round-trip reasonably.
+	for _, p := range []float64{1e-10, 1e-6, 1e-3, 1 - 1e-3, 1 - 1e-6} {
+		x := Quantile(p)
+		if rel := math.Abs(Phi(x)-p) / p; rel > 1e-6 {
+			t.Errorf("tail round trip p=%g: Phi(Quantile) rel err %g", p, rel)
+		}
+	}
+}
+
+func TestNormalCDFAndQuantile(t *testing.T) {
+	mu, sigma := 100.0, 15.0
+	if got := NormalCDF(mu, mu, sigma); got != 0.5 {
+		t.Errorf("NormalCDF at mean = %g", got)
+	}
+	x := NormalQuantile(0.95, mu, sigma)
+	if math.Abs(NormalCDF(x, mu, sigma)-0.95) > 1e-10 {
+		t.Errorf("quantile/CDF round trip failed: %g", NormalCDF(x, mu, sigma))
+	}
+	// Degenerate sigma behaves as a step.
+	if NormalCDF(99, 100, 0) != 0 || NormalCDF(101, 100, 0) != 1 {
+		t.Error("degenerate NormalCDF is not a step function")
+	}
+}
+
+func TestNormalPDFPeak(t *testing.T) {
+	if got := NormalPDF(5, 5, 2); math.Abs(got-InvSqrt2Pi/2) > 1e-15 {
+		t.Errorf("NormalPDF peak = %g", got)
+	}
+}

@@ -1,0 +1,284 @@
+package variation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"vabuf/internal/stats"
+)
+
+// Term is one first-order sensitivity: a coefficient on a single source.
+type Term struct {
+	ID   SourceID
+	Coef float64
+}
+
+// Form is a sparse first-order (canonical) linear form over the sources of
+// a Space (eq. 31–32 of the paper):
+//
+//	value = Nominal + Σ Terms[i].Coef · X_{Terms[i].ID}
+//
+// Terms are kept sorted by SourceID with no duplicates and no zero
+// coefficients, so binary operations are linear merge walks. The zero value
+// is the deterministic constant 0.
+type Form struct {
+	Nominal float64
+	Terms   []Term
+}
+
+// Const returns a deterministic form with the given nominal value.
+func Const(v float64) Form { return Form{Nominal: v} }
+
+// NewForm builds a form from a nominal and a term list; the terms are
+// copied, sorted and canonicalized (duplicates summed, zeros dropped).
+func NewForm(nominal float64, terms []Term) Form {
+	ts := make([]Term, len(terms))
+	copy(ts, terms)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+	out := ts[:0]
+	for _, t := range ts {
+		if n := len(out); n > 0 && out[n-1].ID == t.ID {
+			out[n-1].Coef += t.Coef
+		} else {
+			out = append(out, t)
+		}
+	}
+	// Drop zero coefficients (including duplicates that cancelled).
+	final := out[:0]
+	for _, t := range out {
+		if t.Coef != 0 {
+			final = append(final, t)
+		}
+	}
+	return Form{Nominal: nominal, Terms: final}
+}
+
+// IsDeterministic reports whether the form has no variation terms.
+func (f Form) IsDeterministic() bool { return len(f.Terms) == 0 }
+
+// Mean returns the expected value of the form (its nominal).
+func (f Form) Mean() float64 { return f.Nominal }
+
+// Shift returns f + d for a deterministic offset d.
+func (f Form) Shift(d float64) Form {
+	return Form{Nominal: f.Nominal + d, Terms: f.Terms}
+}
+
+// Scale returns s·f.
+func (f Form) Scale(s float64) Form {
+	if s == 0 {
+		return Form{}
+	}
+	terms := make([]Term, len(f.Terms))
+	for i, t := range f.Terms {
+		terms[i] = Term{t.ID, s * t.Coef}
+	}
+	return Form{Nominal: s * f.Nominal, Terms: terms}
+}
+
+// Add returns f + g.
+func (f Form) Add(g Form) Form { return f.AXPY(1, g) }
+
+// Sub returns f - g.
+func (f Form) Sub(g Form) Form { return f.AXPY(-1, g) }
+
+// AXPY returns f + s·g, merging the two sorted term lists in one pass.
+// This is the workhorse of the three key DP operations (eq. 33–37).
+func (f Form) AXPY(s float64, g Form) Form {
+	if s == 0 || len(g.Terms) == 0 {
+		return Form{Nominal: f.Nominal + s*g.Nominal, Terms: f.Terms}
+	}
+	terms := make([]Term, 0, len(f.Terms)+len(g.Terms))
+	i, j := 0, 0
+	for i < len(f.Terms) && j < len(g.Terms) {
+		a, b := f.Terms[i], g.Terms[j]
+		switch {
+		case a.ID < b.ID:
+			terms = append(terms, a)
+			i++
+		case a.ID > b.ID:
+			terms = append(terms, Term{b.ID, s * b.Coef})
+			j++
+		default:
+			if c := a.Coef + s*b.Coef; c != 0 {
+				terms = append(terms, Term{a.ID, c})
+			}
+			i++
+			j++
+		}
+	}
+	terms = append(terms, f.Terms[i:]...)
+	for ; j < len(g.Terms); j++ {
+		terms = append(terms, Term{g.Terms[j].ID, s * g.Terms[j].Coef})
+	}
+	return Form{Nominal: f.Nominal + s*g.Nominal, Terms: terms}
+}
+
+// Var returns the variance of the form under space: Σ coef²·sigma²
+// (eq. 41–42).
+func (f Form) Var(space *Space) float64 {
+	v := 0.0
+	for _, t := range f.Terms {
+		s := space.Sigma(t.ID)
+		v += t.Coef * t.Coef * s * s
+	}
+	return v
+}
+
+// Sigma returns the standard deviation of the form under space.
+func (f Form) Sigma(space *Space) float64 { return math.Sqrt(f.Var(space)) }
+
+// Cov returns the covariance of f and g under space: Σ over shared sources
+// of coef_f·coef_g·sigma² (the numerator of eq. 43).
+func Cov(f, g Form, space *Space) float64 {
+	c := 0.0
+	i, j := 0, 0
+	for i < len(f.Terms) && j < len(g.Terms) {
+		a, b := f.Terms[i], g.Terms[j]
+		switch {
+		case a.ID < b.ID:
+			i++
+		case a.ID > b.ID:
+			j++
+		default:
+			s := space.Sigma(a.ID)
+			c += a.Coef * b.Coef * s * s
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// Corr returns the correlation coefficient of f and g (eq. 43). It is 0
+// when either form is deterministic.
+func Corr(f, g Form, space *Space) float64 {
+	sf := f.Sigma(space)
+	sg := g.Sigma(space)
+	if sf == 0 || sg == 0 {
+		return 0
+	}
+	rho := Cov(f, g, space) / (sf * sg)
+	// Clamp tiny numerical excursions outside [-1, 1].
+	return math.Max(-1, math.Min(1, rho))
+}
+
+// SigmaDiff returns the standard deviation of f - g computed directly from
+// the term lists, i.e. sqrt(Var(f) - 2Cov + Var(g)) without cancellation
+// issues (eq. 9 / eq. 40).
+func SigmaDiff(f, g Form, space *Space) float64 {
+	return f.Sub(g).Sigma(space)
+}
+
+// ProbGreater returns P(f > g) under the joint normal interpretation of
+// the two forms (eq. 8).
+func ProbGreater(f, g Form, space *Space) float64 {
+	d := f.Sub(g)
+	sd := d.Sigma(space)
+	if sd == 0 {
+		switch {
+		case d.Nominal > 0:
+			return 1
+		case d.Nominal < 0:
+			return 0
+		default:
+			return 0.5
+		}
+	}
+	return stats.Phi(d.Nominal / sd)
+}
+
+// Quantile returns the p-quantile of the form's normal distribution.
+func (f Form) Quantile(p float64, space *Space) float64 {
+	return stats.NormalQuantile(p, f.Nominal, f.Sigma(space))
+}
+
+// Eval evaluates the form at a sampled realization of the sources, as
+// produced by Space.Sample.
+func (f Form) Eval(samples []float64) float64 {
+	v := f.Nominal
+	for _, t := range f.Terms {
+		v += t.Coef * samples[t.ID]
+	}
+	return v
+}
+
+// MinResult is the outcome of the statistical MIN of two forms.
+type MinResult struct {
+	// Form is the first-order approximation of min(f, g) via the tightness
+	// probability (eq. 38): nominal matches Clark's exact mean; the
+	// sensitivities are the tightness-weighted blend of the inputs.
+	Form Form
+	// Moments carries Clark's exact first two moments and the tightness
+	// t = P(f < g).
+	Moments stats.MinMoments
+}
+
+// Min computes the statistical minimum of two forms (eq. 38–40), keeping
+// the result in canonical first-order shape. When one input is smaller
+// with certainty the exact input form is returned unchanged.
+func Min(f, g Form, space *Space) MinResult {
+	sd := SigmaDiff(f, g, space)
+	if sd == 0 {
+		// The difference is deterministic: min is exactly one of the inputs.
+		m := stats.MinMoments{SigmaDiff: 0}
+		if f.Nominal <= g.Nominal {
+			if f.Nominal == g.Nominal {
+				m.Tightness = 0.5
+			} else {
+				m.Tightness = 1
+			}
+			m.Mean = f.Nominal
+			m.Var = f.Var(space)
+			return MinResult{Form: f, Moments: m}
+		}
+		m.Tightness = 0
+		m.Mean = g.Nominal
+		m.Var = g.Var(space)
+		return MinResult{Form: g, Moments: m}
+	}
+	sf := f.Sigma(space)
+	sg := g.Sigma(space)
+	rho := Corr(f, g, space)
+	mom := stats.MinNormals(f.Nominal, sf, g.Nominal, sg, rho)
+	t := mom.Tightness
+	// Blend sensitivities: t·beta_f + (1-t)·beta_g (eq. 38), then set the
+	// nominal to Clark's exact mean (the -sigma·phi(...) correction).
+	blended := f.Scale(t).Add(g.Scale(1 - t))
+	blended.Nominal = mom.Mean
+	// Moment matching: the tightness blend preserves the mean but
+	// understates the variance of the min; rescale the sensitivities so
+	// the form carries Clark's exact second moment while keeping the
+	// blended correlation structure. (Both Scale and Add allocated fresh
+	// term storage, so the in-place rescale cannot alias the inputs.)
+	if vb := blended.Var(space); vb > 0 && mom.Var > 0 {
+		s := math.Sqrt(mom.Var / vb)
+		for i := range blended.Terms {
+			blended.Terms[i].Coef *= s
+		}
+	}
+	return MinResult{Form: blended, Moments: mom}
+}
+
+// Max computes the statistical maximum of two forms, mirroring Min via
+// max(f, g) = -min(-f, -g): Clark-exact mean and variance with
+// tightness-blended sensitivities. The returned Tightness is P(f > g),
+// the probability that f dominates the MAX.
+func Max(f, g Form, space *Space) MinResult {
+	res := Min(f.Scale(-1), g.Scale(-1), space)
+	out := res.Form.Scale(-1)
+	res.Moments.Mean = -res.Moments.Mean
+	return MinResult{Form: out, Moments: res.Moments}
+}
+
+// String renders the form compactly for debugging.
+func (f Form) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%.6g", f.Nominal)
+	for _, t := range f.Terms {
+		fmt.Fprintf(&b, "%+.3g·x%d", t.Coef, t.ID)
+	}
+	return b.String()
+}

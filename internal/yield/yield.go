@@ -1,0 +1,304 @@
+// Package yield evaluates a *fixed* buffered routing tree under a process
+// variation model: canonical (first-order) propagation of the root RAT
+// distribution, per-sample Monte-Carlo evaluation with deterministic
+// Elmore, and the timing-yield metrics of §5.3 (the q%-yield RAT and the
+// yield at a target RAT). It is the measurement side of Tables 3–5 and
+// Figure 6, deliberately independent from the optimizer in internal/core.
+package yield
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+
+	"vabuf/internal/device"
+	"vabuf/internal/rctree"
+	"vabuf/internal/stats"
+	"vabuf/internal/variation"
+)
+
+// Propagate pushes canonical (L, T) forms bottom-up through a buffered
+// tree using exactly the three key operations of §4.2 and returns the root
+// RAT form including the driver delay. A nil model yields the
+// deterministic evaluation as a constant form.
+func Propagate(tree *rctree.Tree, lib device.Library, assign map[rctree.NodeID]int,
+	model *variation.Model) (variation.Form, error) {
+	return PropagateSized(tree, lib, assign, nil, model)
+}
+
+// PropagateSized is Propagate with per-edge wire overrides, evaluating a
+// simultaneously buffered and wire-sized design (the [8] extension).
+func PropagateSized(tree *rctree.Tree, lib device.Library, assign map[rctree.NodeID]int,
+	wires rctree.WireAssignment, model *variation.Model) (variation.Form, error) {
+	if err := tree.Validate(); err != nil {
+		return variation.Form{}, err
+	}
+	space := variation.NewSpace()
+	if model != nil {
+		space = model.Space
+	}
+	for id, bi := range assign {
+		if id < 0 || int(id) >= tree.Len() {
+			return variation.Form{}, fmt.Errorf("yield: assignment node %d out of range", id)
+		}
+		if !tree.Node(id).BufferOK {
+			return variation.Form{}, fmt.Errorf("yield: node %d is not a buffer position", id)
+		}
+		if bi < 0 || bi >= len(lib) {
+			return variation.Form{}, fmt.Errorf("yield: buffer index %d out of library range", bi)
+		}
+	}
+	for id, wp := range wires {
+		if id < 0 || int(id) >= tree.Len() || id == tree.Root {
+			return variation.Form{}, fmt.Errorf("yield: wire assignment node %d invalid", id)
+		}
+		if wp.R <= 0 || wp.C <= 0 {
+			return variation.Form{}, fmt.Errorf("yield: non-positive wire override at node %d", id)
+		}
+	}
+	type lt struct{ L, T variation.Form }
+	vals := make([]lt, tree.Len())
+	for _, id := range tree.PostOrder() {
+		n := tree.Node(id)
+		var cur lt
+		switch n.Kind {
+		case rctree.KindSink:
+			cur = lt{L: variation.Const(n.CapLoad), T: variation.Const(n.RAT)}
+		default:
+			first := true
+			for _, cid := range n.Children {
+				cn := tree.Node(cid)
+				child := vals[cid]
+				wp := tree.Wire
+				if ov, ok := wires[cid]; ok {
+					wp = ov
+				}
+				r, c := wp.R, wp.C
+				if l := cn.WireLen; l > 0 {
+					child.T = child.T.AXPY(-r*l, child.L).Shift(-0.5 * r * c * l * l)
+					child.L = child.L.Shift(c * l)
+				}
+				if first {
+					cur = child
+					first = false
+				} else {
+					cur.L = cur.L.Add(child.L)
+					cur.T = variation.Min(cur.T, child.T, space).Form
+				}
+			}
+		}
+		if bi, ok := assign[id]; ok {
+			b := lib[bi]
+			dev := variation.Form{}
+			if model != nil {
+				dev = model.Deviation(int(id), n.Loc)
+			}
+			cbForm := variation.Const(b.Cb0).Add(dev.Scale(b.Cb0))
+			tbForm := variation.Const(b.Tb0).Add(dev.Scale(b.Tb0))
+			cur = lt{
+				L: cbForm,
+				T: cur.T.Sub(tbForm).AXPY(-b.Rb, cur.L),
+			}
+		}
+		vals[id] = cur
+	}
+	root := vals[tree.Root]
+	return root.T.AXPY(-tree.DriverR, root.L), nil
+}
+
+// MonteCarlo draws n realizations of the model's sources and evaluates the
+// buffered tree's root RAT with deterministic Elmore per sample — the
+// ground-truth distribution the canonical model approximates (Figure 6).
+// The model must be non-nil.
+func MonteCarlo(tree *rctree.Tree, lib device.Library, assign map[rctree.NodeID]int,
+	model *variation.Model, n int, seed int64) ([]float64, error) {
+	return MonteCarloSized(tree, lib, assign, nil, model, n, seed)
+}
+
+// MonteCarloSized is MonteCarlo with per-edge wire overrides.
+func MonteCarloSized(tree *rctree.Tree, lib device.Library, assign map[rctree.NodeID]int,
+	wires rctree.WireAssignment, model *variation.Model, n int, seed int64) ([]float64, error) {
+	if model == nil {
+		return nil, fmt.Errorf("yield: MonteCarlo requires a variation model")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("yield: sample count %d must be positive", n)
+	}
+	// Pre-resolve per-buffer deviation forms once; evaluating a form per
+	// sample is cheap.
+	type inst struct {
+		id  rctree.NodeID
+		b   device.BufferType
+		dev variation.Form
+	}
+	insts := make([]inst, 0, len(assign))
+	for id, bi := range assign {
+		if bi < 0 || bi >= len(lib) {
+			return nil, fmt.Errorf("yield: buffer index %d out of library range", bi)
+		}
+		if id < 0 || int(id) >= tree.Len() {
+			return nil, fmt.Errorf("yield: assignment node %d out of range", id)
+		}
+		insts = append(insts, inst{
+			id:  id,
+			b:   lib[bi],
+			dev: model.Deviation(int(id), tree.Node(id).Loc),
+		})
+	}
+	// Deterministic iteration order for reproducibility.
+	sort.Slice(insts, func(i, j int) bool { return insts[i].id < insts[j].id })
+	run := func(count int, shardSeed int64, dst []float64) error {
+		rng := rand.New(rand.NewSource(shardSeed))
+		var buf []float64
+		bv := make(rctree.Assignment, len(insts))
+		for s := 0; s < count; s++ {
+			buf = model.Space.Sample(rng, buf)
+			for _, in := range insts {
+				d := in.dev.Eval(buf)
+				bv[in.id] = rctree.BufferValues{
+					C: in.b.Cb0 * (1 + d),
+					T: in.b.Tb0 * (1 + d),
+					R: in.b.Rb,
+				}
+			}
+			ev, err := rctree.EvaluateSized(tree, bv, wires)
+			if err != nil {
+				return err
+			}
+			dst[s] = ev.RootRAT
+		}
+		return nil
+	}
+	out := make([]float64, n)
+	if err := run(n, seed, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MonteCarloParallel is MonteCarloSized fanned out over worker
+// goroutines. Sampling is sharded deterministically — shard i draws its
+// samples from seed+i — so the result is identical for any worker count,
+// including 1, but is NOT the same stream as MonteCarloSized(seed).
+func MonteCarloParallel(tree *rctree.Tree, lib device.Library, assign map[rctree.NodeID]int,
+	wires rctree.WireAssignment, model *variation.Model, n int, seed int64, workers int) ([]float64, error) {
+	if model == nil {
+		return nil, fmt.Errorf("yield: MonteCarlo requires a variation model")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("yield: sample count %d must be positive", n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Fixed shard layout independent of the worker count.
+	const shards = 16
+	type shard struct {
+		from, count int
+		seed        int64
+	}
+	per := n / shards
+	rem := n % shards
+	plan := make([]shard, 0, shards)
+	from := 0
+	for i := 0; i < shards; i++ {
+		count := per
+		if i < rem {
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		plan = append(plan, shard{from: from, count: count, seed: seed + int64(i)})
+		from += count
+	}
+	// Force the lazy per-site source allocation to happen once, serially,
+	// before any concurrency touches the model.
+	for id := range assign {
+		model.Deviation(int(id), tree.Node(id).Loc)
+	}
+	out := make([]float64, n)
+	errc := make(chan error, len(plan))
+	sem := make(chan struct{}, workers)
+	for _, sh := range plan {
+		sh := sh
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			part, err := MonteCarloSized(tree, lib, assign, wires, model, sh.count, sh.seed)
+			if err == nil {
+				copy(out[sh.from:sh.from+sh.count], part)
+			}
+			errc <- err
+		}()
+	}
+	for range plan {
+		if err := <-errc; err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// YieldAtTarget returns the fraction of samples meeting the target RAT
+// (sample RAT >= target: the arrival-time budget is satisfied).
+func YieldAtTarget(samples []float64, target float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, s := range samples {
+		if s >= target {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(samples))
+}
+
+// NormalYieldAtTarget returns P(RAT >= target) for the canonical form.
+func NormalYieldAtTarget(rat variation.Form, space *variation.Space, target float64) float64 {
+	sigma := rat.Sigma(space)
+	if sigma == 0 {
+		if rat.Nominal >= target {
+			return 1
+		}
+		return 0
+	}
+	return 1 - stats.Phi((target-rat.Nominal)/sigma)
+}
+
+// Report summarizes one buffered design under a model: the figures of
+// merit of Tables 3–5.
+type Report struct {
+	// Mean and Sigma describe the canonical root RAT.
+	Mean, Sigma float64
+	// YieldRAT is the q%-tile RAT (paper: q = 0.05, the "95% timing
+	// yield" RAT — the design meets this RAT with 95% probability).
+	YieldRAT float64
+	// NumBuffers is the number of inserted buffers.
+	NumBuffers int
+}
+
+// Evaluate produces a Report for a buffered tree under the model using
+// canonical propagation. q is the yield quantile (0.05 for 95% yield).
+func Evaluate(tree *rctree.Tree, lib device.Library, assign map[rctree.NodeID]int,
+	model *variation.Model, q float64) (Report, error) {
+	if q <= 0 || q >= 1 {
+		return Report{}, fmt.Errorf("yield: quantile %g outside (0, 1)", q)
+	}
+	rat, err := Propagate(tree, lib, assign, model)
+	if err != nil {
+		return Report{}, err
+	}
+	space := variation.NewSpace()
+	if model != nil {
+		space = model.Space
+	}
+	return Report{
+		Mean:       rat.Nominal,
+		Sigma:      rat.Sigma(space),
+		YieldRAT:   rat.Quantile(q, space),
+		NumBuffers: len(assign),
+	}, nil
+}
