@@ -2,6 +2,7 @@ package vabuf_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -66,6 +67,49 @@ func TestBufinsCLI(t *testing.T) {
 	}
 	if _, _, err := runCmd(t, bin, "-bench", "p1", "-algo", "martian"); err == nil {
 		t.Error("unknown algo accepted")
+	}
+	if _, stderr, err := runCmd(t, bin, "-bench", "p1", "-pbar", "1.5"); err == nil {
+		t.Error("out-of-range -pbar accepted")
+	} else if !strings.Contains(stderr, "(0, 1)") {
+		t.Errorf("-pbar error message unclear: %q", stderr)
+	}
+	if _, _, err := runCmd(t, bin, "-bench", "p1", "-quantile", "0"); err == nil {
+		t.Error("out-of-range -quantile accepted")
+	}
+}
+
+func TestBufinsJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	bin := buildCmd(t, "./cmd/bufins")
+	out, _, err := runCmd(t, bin, "-bench", "p1", "-algo", "nom", "-json", "-print-assignment")
+	if err != nil {
+		t.Fatalf("bufins -json: %v\n%s", err, out)
+	}
+	var res struct {
+		Bench      string  `json:"bench"`
+		Algo       string  `json:"algo"`
+		Sinks      int     `json:"sinks"`
+		MeanPS     float64 `json:"mean_ps"`
+		SigmaPS    float64 `json:"sigma_ps"`
+		NumBuffers int     `json:"num_buffers"`
+		Assignment []struct {
+			Node   int    `json:"node"`
+			Buffer string `json:"buffer"`
+		} `json:"assignment"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("output is not the insert DTO: %v\n%s", err, out)
+	}
+	if res.Bench != "p1" || res.Algo != "nom" || res.Sinks != 269 {
+		t.Errorf("DTO fields wrong: %+v", res)
+	}
+	if res.NumBuffers == 0 || len(res.Assignment) != res.NumBuffers {
+		t.Errorf("assignment has %d entries, num_buffers %d", len(res.Assignment), res.NumBuffers)
+	}
+	if res.SigmaPS != 0 {
+		t.Errorf("nom run has sigma %g", res.SigmaPS)
 	}
 }
 

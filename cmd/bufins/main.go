@@ -7,6 +7,7 @@
 //
 //	bufins -bench r3 -algo wid
 //	bufins -tree net.tree -algo nom -print-assignment
+//	bufins -bench r1 -json    # machine-readable, the vabufd /v1/insert DTO
 //
 // Algorithms: nom (deterministic van Ginneken), d2d (random + inter-die
 // variation), wid (all variation classes, the paper's algorithm). The
@@ -15,13 +16,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"vabuf"
+	"vabuf/internal/server"
 	"vabuf/internal/variation"
 )
 
@@ -34,7 +38,7 @@ func main() {
 
 func run() error {
 	var (
-		bench     = flag.String("bench", "", "built-in benchmark name (p1, p2, r1..r5)")
+		bench     = flag.String("bench", "", "built-in benchmark name ("+strings.Join(vabuf.Benchmarks(), ", ")+")")
 		treeFile  = flag.String("tree", "", "tree file in rctree text format")
 		algo      = flag.String("algo", "wid", "nom, d2d, or wid")
 		ruleName  = flag.String("rule", "2p", "pruning rule for variation-aware runs: 2p or 4p")
@@ -49,9 +53,16 @@ func run() error {
 		libFile   = flag.String("library", "", "JSON buffer-library file (default: built-in library)")
 		wireSize  = flag.Bool("wire-sizing", false, "enable simultaneous wire sizing")
 		critN     = flag.Int("criticality", 0, "print the N most critical sinks")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON (the vabufd /v1/insert DTO)")
 	)
 	flag.Parse()
 
+	if err := server.CheckUnitInterval("-pbar", *pbar); err != nil {
+		return err
+	}
+	if err := server.CheckUnitInterval("-quantile", *quantile); err != nil {
+		return err
+	}
 	tree, err := loadTree(*bench, *treeFile)
 	if err != nil {
 		return err
@@ -118,6 +129,14 @@ func run() error {
 		return err
 	}
 	elapsed := time.Since(t0)
+
+	if *jsonOut {
+		out := server.NewInsertResult(tree, lib, *algo, opts, res, elapsed, *printAsgn)
+		out.Bench = *bench
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
 
 	fmt.Printf("tree: %d sinks, %d buffer positions, %.0f µm wire\n",
 		tree.NumSinks(), tree.NumBufferPositions(), tree.TotalWireLength())

@@ -1,0 +1,87 @@
+// Command vabufd serves variation-aware buffer insertion over HTTP/JSON:
+// a long-running daemon that amortizes benchmark and variation-model
+// construction across requests (LRU caches) and runs insertions on a
+// bounded worker pool.
+//
+// Endpoints:
+//
+//	POST /v1/insert     run buffer insertion (see internal/server.InsertRequest)
+//	POST /v1/yield      insertion + yield analysis, optional Monte Carlo
+//	GET  /v1/benchmarks list the built-in Table 1 benchmark names
+//	GET  /healthz       liveness probe
+//	GET  /metrics       counters, latency histograms, queue and cache stats
+//
+// Overload (full job queue) answers 429 with Retry-After; per-request
+// deadlines map ErrTimeout to 504 and candidate-capacity overruns
+// (ErrCapacity) to 413. SIGINT/SIGTERM trigger a graceful shutdown that
+// drains in-flight jobs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"vabuf/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8577", "listen address")
+		workers    = flag.Int("workers", 0, "insertion workers (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "job-queue depth behind the workers")
+		treeCache  = flag.Int("tree-cache", 32, "parsed/generated tree LRU entries")
+		modelCache = flag.Int("model-cache", 32, "variation-model LRU entries")
+		timeout    = flag.Duration("timeout", 2*time.Minute,
+			"default per-request insertion deadline (0 = none)")
+		maxBody = flag.Int64("max-body", 8<<20, "request body limit in bytes")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		TreeCacheSize:   *treeCache,
+		ModelCacheSize:  *modelCache,
+		DefaultTimeout:  *timeout,
+		MaxRequestBytes: *maxBody,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	nWorkers := *workers
+	if nWorkers < 1 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("vabufd listening on %s (%d workers, queue %d, tree cache %d, model cache %d)",
+		*addr, nWorkers, *queue, *treeCache, *modelCache)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("vabufd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Print("vabufd: shutdown signal; draining in-flight jobs")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("vabufd: shutdown: %v", err)
+	}
+	srv.Close()
+	log.Print("vabufd: drained, exiting")
+}

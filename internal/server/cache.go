@@ -1,0 +1,93 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"vabuf"
+)
+
+// lruCache is a concurrency-safe LRU of build-once slots. A lookup
+// reserves a slot under the cache lock, then builds the value outside it
+// (guarded by the slot's sync.Once), so an expensive build — benchmark
+// generation, variation-grid construction — never blocks unrelated keys
+// and never runs twice for concurrent identical requests.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	slots map[string]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+type cacheSlot struct {
+	key  string
+	once sync.Once
+	val  any
+	err  error
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		slots: make(map[string]*list.Element),
+	}
+}
+
+// do returns the value for key, building it at most once per residency.
+// hit reports whether the slot already existed (a returning request). A
+// failed build evicts its slot so a later request can retry.
+func (c *lruCache) do(key string, build func() (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	el, ok := c.slots[key]
+	if ok {
+		c.order.MoveToFront(el)
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+		el = c.order.PushFront(&cacheSlot{key: key})
+		c.slots[key] = el
+		if c.order.Len() > c.cap {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.slots, oldest.Value.(*cacheSlot).key)
+		}
+	}
+	slot := el.Value.(*cacheSlot)
+	c.mu.Unlock()
+
+	slot.once.Do(func() { slot.val, slot.err = build() })
+	if slot.err != nil {
+		c.mu.Lock()
+		if cur, ok := c.slots[key]; ok && cur == el {
+			c.order.Remove(el)
+			delete(c.slots, key)
+		}
+		c.mu.Unlock()
+		return nil, ok, slot.err
+	}
+	return slot.val, ok, nil
+}
+
+// stats returns the cumulative hit/miss counters and the current size.
+func (c *lruCache) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	size = c.order.Len()
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), size
+}
+
+// modelEntry pairs a cached variation model with a mutex serializing the
+// runs that share it: variation.Model allocates per-site random sources
+// lazily, so two concurrent insertions over one instance would race. Runs
+// on distinct (tree, config) keys still proceed in parallel.
+type modelEntry struct {
+	mu    sync.Mutex
+	model *vabuf.VariationModel
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vabuf"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds) of the latency
+// histogram buckets; a final +Inf bucket catches the rest.
+var latencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	count   int64
+	sumMS   float64
+	buckets []int64 // len(latencyBucketsMS)+1, last = +Inf
+}
+
+func (h *histogram) observe(ms float64) {
+	h.count++
+	h.sumMS += ms
+	for i, ub := range latencyBucketsMS {
+		if ms <= ub {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(latencyBucketsMS)]++
+}
+
+func (h *histogram) snapshot() map[string]any {
+	buckets := make(map[string]int64, len(h.buckets))
+	for i, ub := range latencyBucketsMS {
+		buckets[fmt.Sprintf("le_%g", ub)] = h.buckets[i]
+	}
+	buckets["inf"] = h.buckets[len(latencyBucketsMS)]
+	return map[string]any{
+		"count":   h.count,
+		"sum_ms":  h.sumMS,
+		"buckets": buckets,
+	}
+}
+
+// pruneTotals accumulates core.Result.Stats across every successful run —
+// the service-lifetime view of the paper's Table 2 counters.
+type pruneTotals struct {
+	runs      int64
+	generated int64
+	pruned    int64
+	merges    int64
+	nodes     int64
+	peakList  int
+}
+
+// metrics is the expvar-style registry behind GET /metrics.
+type metrics struct {
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[string]map[string]int64 // endpoint -> status code -> count
+	latency  map[string]*histogram       // "algo/rule" -> run latency
+	prune    pruneTotals
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		requests: make(map[string]map[string]int64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+func (m *metrics) recordRequest(endpoint string, status int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus := m.requests[endpoint]
+	if byStatus == nil {
+		byStatus = make(map[string]int64)
+		m.requests[endpoint] = byStatus
+	}
+	byStatus[fmt.Sprintf("%d", status)]++
+}
+
+// recordRun records one successful insertion run: its latency under the
+// algo/rule key and its pruning counters.
+func (m *metrics) recordRun(algo, rule string, elapsed time.Duration, res *vabuf.Result) {
+	key := algo + "/" + rule
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.latency[key]
+	if h == nil {
+		h = &histogram{buckets: make([]int64, len(latencyBucketsMS)+1)}
+		m.latency[key] = h
+	}
+	h.observe(float64(elapsed) / float64(time.Millisecond))
+	m.prune.runs++
+	m.prune.generated += res.Stats.Generated
+	m.prune.pruned += res.Stats.Pruned
+	m.prune.merges += res.Stats.Merges
+	m.prune.nodes += int64(res.Stats.Nodes)
+	if res.Stats.PeakList > m.prune.peakList {
+		m.prune.peakList = res.Stats.PeakList
+	}
+}
+
+func cacheSnapshot(c *lruCache, capacity int) map[string]any {
+	hits, misses, size := c.stats()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return map[string]any{
+		"hits":     hits,
+		"misses":   misses,
+		"size":     size,
+		"capacity": capacity,
+		"hit_rate": rate,
+	}
+}
+
+// snapshot assembles the full /metrics document.
+func (m *metrics) snapshot(pool *workerPool, trees, models *lruCache,
+	treeCap, modelCap int) map[string]any {
+	m.mu.Lock()
+	requests := make(map[string]map[string]int64, len(m.requests))
+	for ep, byStatus := range m.requests {
+		cp := make(map[string]int64, len(byStatus))
+		for st, n := range byStatus {
+			cp[st] = n
+		}
+		requests[ep] = cp
+	}
+	latency := make(map[string]any, len(m.latency))
+	for key, h := range m.latency {
+		latency[key] = h.snapshot()
+	}
+	prune := map[string]any{
+		"runs":      m.prune.runs,
+		"generated": m.prune.generated,
+		"pruned":    m.prune.pruned,
+		"merges":    m.prune.merges,
+		"nodes":     m.prune.nodes,
+		"peak_list": m.prune.peakList,
+	}
+	m.mu.Unlock()
+
+	return map[string]any{
+		"uptime_seconds": time.Since(m.start).Seconds(),
+		"requests":       requests,
+		"latency_ms":     latency,
+		"queue": map[string]any{
+			"depth":    pool.depth(),
+			"capacity": pool.capacity(),
+			"workers":  pool.workers,
+			"rejected": pool.rejected.Load(),
+		},
+		"caches": map[string]any{
+			"tree":  cacheSnapshot(trees, treeCap),
+			"model": cacheSnapshot(models, modelCap),
+		},
+		"pruning": prune,
+	}
+}

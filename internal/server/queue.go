@@ -1,0 +1,72 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool runs insertion jobs on a fixed set of goroutines fed by a
+// bounded queue. When the queue is full, trySubmit refuses immediately —
+// the server answers 429 with Retry-After instead of queuing unboundedly
+// and melting under load.
+type workerPool struct {
+	jobs    chan func()
+	wg      sync.WaitGroup
+	workers int
+
+	inFlight atomic.Int64
+	rejected atomic.Int64
+}
+
+// newWorkerPool starts workers goroutines (<1 selects GOMAXPROCS) behind
+// a queue of depth waiting slots.
+func newWorkerPool(workers, depth int) *workerPool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	p := &workerPool{
+		jobs:    make(chan func(), depth),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				p.inFlight.Add(1)
+				job()
+				p.inFlight.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// trySubmit enqueues job, reporting false when the queue is full.
+// Must not be called after close.
+func (p *workerPool) trySubmit(job func()) bool {
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		p.rejected.Add(1)
+		return false
+	}
+}
+
+// close stops accepting work and blocks until every queued and in-flight
+// job has finished (the drain step of graceful shutdown).
+func (p *workerPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// depth is the number of queued plus in-flight jobs.
+func (p *workerPool) depth() int { return len(p.jobs) + int(p.inFlight.Load()) }
+
+// capacity is the number of waiting slots behind the workers.
+func (p *workerPool) capacity() int { return cap(p.jobs) }

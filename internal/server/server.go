@@ -1,0 +1,460 @@
+// Package server implements vabufd, a long-running buffer-insertion
+// service over the vabuf library. It amortizes the expensive per-request
+// setup — benchmark generation, variation-grid and source construction —
+// across requests with LRU caches, bounds concurrency with a fixed worker
+// pool behind a bounded queue (overload answers 429 instead of queuing
+// unboundedly), maps the library's capacity guards to HTTP statuses
+// (ErrTimeout → 504, ErrCapacity → 413), and reports counters, latency
+// histograms, queue depth, and cache hit rates on GET /metrics.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"vabuf"
+)
+
+// Config sizes one Server. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the number of insertion workers; <1 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth is the number of waiting slots behind the workers; <=0
+	// selects 64. A full queue answers 429 with Retry-After.
+	QueueDepth int
+	// TreeCacheSize and ModelCacheSize bound the two LRU caches
+	// (entries); <=0 selects 32.
+	TreeCacheSize  int
+	ModelCacheSize int
+	// DefaultTimeout caps runs whose request omits timeout_ms; 0 means
+	// no server-side deadline.
+	DefaultTimeout time.Duration
+	// MaxRequestBytes bounds request bodies; <=0 selects 8 MiB.
+	MaxRequestBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.TreeCacheSize <= 0 {
+		c.TreeCacheSize = 32
+	}
+	if c.ModelCacheSize <= 0 {
+		c.ModelCacheSize = 32
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the vabufd HTTP service. Create with New, expose via
+// Handler, and Close after the HTTP listener has shut down.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	pool   *workerPool
+	trees  *lruCache
+	models *lruCache
+	met    *metrics
+
+	// testHookJob, when set, runs at the start of every pool job. Tests
+	// use it to hold workers busy deterministically.
+	testHookJob func()
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		pool:   newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		trees:  newLRU(cfg.TreeCacheSize),
+		models: newLRU(cfg.ModelCacheSize),
+		met:    newMetrics(),
+	}
+	s.mux.HandleFunc("POST /v1/insert", s.instrument("/v1/insert", s.insert))
+	s.mux.HandleFunc("POST /v1/yield", s.instrument("/v1/yield", s.yield))
+	s.mux.HandleFunc("GET /v1/benchmarks", s.instrument("/v1/benchmarks", s.benchmarks))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.healthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.metricsHandler))
+	return s
+}
+
+// Handler returns the root handler for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the worker pool: it blocks until every queued and
+// in-flight job has finished. Call it after http.Server.Shutdown so no
+// new jobs can arrive.
+func (s *Server) Close() { s.pool.close() }
+
+// instrument wraps an endpoint: it records the request counter, attaches
+// Retry-After to overload responses, and writes the JSON body.
+func (s *Server) instrument(endpoint string, h func(*http.Request) (int, any)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		status, body := h(r)
+		s.met.recordRequest(endpoint, status)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body)
+	}
+}
+
+// Sentinel errors of the request path.
+var (
+	errOverloaded = errors.New("server overloaded: job queue full")
+)
+
+// statusClientClosed mirrors nginx's non-standard 499 "client closed
+// request" for requests abandoned while their job was queued or running.
+const statusClientClosed = 499
+
+func errBody(err error) ErrorResult { return ErrorResult{Error: err.Error()} }
+
+func decodeJSON(r *http.Request, limit int64, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// preparedRun is everything a worker needs for one insertion job.
+type preparedRun struct {
+	tree     *vabuf.Tree
+	lib      vabuf.Library
+	opts     vabuf.Options
+	entry    *modelEntry // nil for deterministic (nom) runs
+	treeHit  bool
+	modelHit bool
+}
+
+// prepare resolves the tree and model through the caches and assembles
+// the insertion options. Errors are client errors (400).
+func (s *Server) prepare(req *InsertRequest) (*preparedRun, error) {
+	tree, treeHit, err := s.loadTree(req)
+	if err != nil {
+		return nil, err
+	}
+	lib := vabuf.DefaultLibrary()
+	if req.Inverters {
+		lib = append(lib, vabuf.InverterLibrary()...)
+	}
+	opts := vabuf.Options{
+		Library:        lib,
+		PbarL:          req.Pbar,
+		PbarT:          req.Pbar,
+		SelectQuantile: req.Quantile,
+		MaxCandidates:  req.MaxCandidates,
+		Timeout:        s.cfg.DefaultTimeout,
+	}
+	if req.TimeoutMS > 0 {
+		opts.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if req.Rule == "4p" {
+		opts.Rule = vabuf.Rule4P
+	}
+	if req.WireSizing {
+		opts.WireLibrary = vabuf.DefaultWireLibrary()
+	}
+	p := &preparedRun{tree: tree, lib: lib, opts: opts, treeHit: treeHit}
+	if req.Algo != "nom" {
+		entry, modelHit, err := s.loadModel(req, tree)
+		if err != nil {
+			return nil, err
+		}
+		p.entry = entry
+		p.modelHit = modelHit
+	}
+	return p, nil
+}
+
+// loadTree resolves the request's tree through the LRU cache: built-in
+// benchmarks by name, inline rctree text by content hash. Cached trees
+// are shared across concurrent runs — insertion never mutates them.
+func (s *Server) loadTree(req *InsertRequest) (*vabuf.Tree, bool, error) {
+	var key string
+	var build func() (any, error)
+	if req.Bench != "" {
+		key = "bench:" + req.Bench
+		build = func() (any, error) { return vabuf.GenerateBenchmark(req.Bench) }
+	} else {
+		sum := sha256.Sum256([]byte(req.Tree))
+		key = "text:" + hex.EncodeToString(sum[:])
+		build = func() (any, error) { return vabuf.ReadTree(strings.NewReader(req.Tree)) }
+	}
+	v, hit, err := s.trees.do(key, build)
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*vabuf.Tree), hit, nil
+}
+
+// loadModel resolves the variation model for (tree, algo, budget,
+// heterogeneity) through the LRU cache, skipping the grid and source
+// construction on a hit.
+func (s *Server) loadModel(req *InsertRequest, tree *vabuf.Tree) (*modelEntry, bool, error) {
+	treeKey := req.Bench
+	if treeKey == "" {
+		sum := sha256.Sum256([]byte(req.Tree))
+		treeKey = hex.EncodeToString(sum[:])
+	}
+	key := fmt.Sprintf("%s|algo=%s|budget=%g|hetero=%t",
+		treeKey, req.Algo, req.Budget, req.heterogeneous())
+	v, hit, err := s.models.do(key, func() (any, error) {
+		cfg := vabuf.DefaultModelConfig(tree)
+		cfg.RandomFrac = req.Budget
+		cfg.InterDieFrac = req.Budget
+		cfg.SpatialFrac = req.Budget
+		cfg.Heterogeneous = req.heterogeneous()
+		if req.Algo == "d2d" {
+			cfg.SpatialFrac = 0
+			cfg.Heterogeneous = false
+		}
+		model, err := vabuf.NewVariationModel(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &modelEntry{model: model}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*modelEntry), hit, nil
+}
+
+// execute submits fn to the pool and waits for it or for the client to
+// go away. A non-zero status reports the failure.
+func (s *Server) execute(ctx context.Context, fn func()) (int, error) {
+	done := make(chan struct{})
+	job := func() {
+		defer close(done)
+		if s.testHookJob != nil {
+			s.testHookJob()
+		}
+		fn()
+	}
+	if !s.pool.trySubmit(job) {
+		return http.StatusTooManyRequests, errOverloaded
+	}
+	select {
+	case <-done:
+		return 0, nil
+	case <-ctx.Done():
+		// The job still runs to completion on its worker; the closure
+		// owns every variable it writes, so nothing races.
+		return statusClientClosed, fmt.Errorf("client closed request: %w", ctx.Err())
+	}
+}
+
+// statusForRunError maps an insertion failure to an HTTP status: the
+// Table 2 capacity guards become 504/413; anything else stems from the
+// request's tree or options and is a 400.
+func statusForRunError(err error) int {
+	switch {
+	case errors.Is(err, vabuf.ErrTimeout):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, vabuf.ErrCapacity):
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// runInsert is the shared insertion path of /v1/insert and /v1/yield.
+func (s *Server) runInsert(ctx context.Context, req *InsertRequest,
+	p *preparedRun) (*vabuf.Result, time.Duration, int, error) {
+	var (
+		res     *vabuf.Result
+		runErr  error
+		elapsed time.Duration
+	)
+	status, err := s.execute(ctx, func() {
+		opts := p.opts
+		if p.entry != nil {
+			// Serialize runs sharing one cached model: it allocates
+			// per-site sources lazily (see modelEntry).
+			p.entry.mu.Lock()
+			defer p.entry.mu.Unlock()
+			opts.Model = p.entry.model
+		}
+		t0 := time.Now()
+		res, runErr = vabuf.Insert(p.tree, opts)
+		elapsed = time.Since(t0)
+	})
+	if err != nil {
+		return nil, 0, status, err
+	}
+	if runErr != nil {
+		return nil, 0, statusForRunError(runErr), runErr
+	}
+	s.met.recordRun(req.Algo, p.opts.Rule.String(), elapsed, res)
+	return res, elapsed, 0, nil
+}
+
+func (s *Server) insert(r *http.Request) (int, any) {
+	var req InsertRequest
+	if err := decodeJSON(r, s.cfg.MaxRequestBytes, &req); err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	if err := req.normalize(); err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	p, err := s.prepare(&req)
+	if err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	res, elapsed, status, err := s.runInsert(r.Context(), &req, p)
+	if err != nil {
+		return status, errBody(err)
+	}
+	out := NewInsertResult(p.tree, p.lib, req.Algo, p.opts, res, elapsed, req.IncludeAssignment)
+	out.Bench = req.Bench
+	out.TreeCacheHit = p.treeHit
+	out.ModelCacheHit = p.modelHit
+	return http.StatusOK, out
+}
+
+func (s *Server) yield(r *http.Request) (int, any) {
+	var req YieldRequest
+	if err := decodeJSON(r, s.cfg.MaxRequestBytes, &req); err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	if err := req.normalize(); err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	if req.MonteCarlo < 0 || req.MonteCarlo > 1_000_000 {
+		return http.StatusBadRequest, errBody(fmt.Errorf(
+			"monte_carlo must be in [0, 1000000], got %d", req.MonteCarlo))
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	p, err := s.prepare(&req.InsertRequest)
+	if err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+
+	var (
+		res      *vabuf.Result
+		report   vabuf.YieldReport
+		mc       *MonteCarloDTO
+		runErr   error
+		elapsed  time.Duration
+		yieldErr error
+	)
+	status, err := s.execute(r.Context(), func() {
+		opts := p.opts
+		var model *vabuf.VariationModel
+		if p.entry != nil {
+			p.entry.mu.Lock()
+			defer p.entry.mu.Unlock()
+			model = p.entry.model
+			opts.Model = model
+		}
+		t0 := time.Now()
+		res, runErr = vabuf.Insert(p.tree, opts)
+		elapsed = time.Since(t0)
+		if runErr != nil {
+			return
+		}
+		report, yieldErr = vabuf.EvaluateYield(p.tree, p.lib, res.Assignment, model, req.Quantile)
+		if yieldErr != nil || req.MonteCarlo <= 0 || model == nil {
+			return
+		}
+		var samples []float64
+		samples, yieldErr = vabuf.MonteCarloRAT(p.tree, p.lib, res.Assignment,
+			model, req.MonteCarlo, req.Seed)
+		if yieldErr != nil {
+			return
+		}
+		mc = summarizeSamples(samples, req.Quantile)
+	})
+	if err != nil {
+		return status, errBody(err)
+	}
+	if runErr != nil {
+		return statusForRunError(runErr), errBody(runErr)
+	}
+	if yieldErr != nil {
+		return http.StatusInternalServerError, errBody(yieldErr)
+	}
+	s.met.recordRun(req.Algo, p.opts.Rule.String(), elapsed, res)
+
+	insert := NewInsertResult(p.tree, p.lib, req.Algo, p.opts, res, elapsed, req.IncludeAssignment)
+	insert.Bench = req.Bench
+	insert.TreeCacheHit = p.treeHit
+	insert.ModelCacheHit = p.modelHit
+	return http.StatusOK, YieldResult{
+		Insert:     insert,
+		MeanPS:     report.Mean,
+		SigmaPS:    report.Sigma,
+		YieldRATPS: report.YieldRAT,
+		MonteCarlo: mc,
+	}
+}
+
+// summarizeSamples reduces Monte-Carlo RATs to the DTO: sample mean,
+// sigma, and the empirical q-quantile.
+func summarizeSamples(samples []float64, q float64) *MonteCarloDTO {
+	n := len(samples)
+	if n == 0 {
+		return nil
+	}
+	var sum, sumSq float64
+	for _, v := range samples {
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return &MonteCarloDTO{
+		Samples:     n,
+		MeanPS:      mean,
+		SigmaPS:     math.Sqrt(variance),
+		QuantileRAT: sorted[idx],
+	}
+}
+
+func (s *Server) benchmarks(*http.Request) (int, any) {
+	return http.StatusOK, BenchmarksResult{Benchmarks: vabuf.Benchmarks()}
+}
+
+func (s *Server) healthz(*http.Request) (int, any) {
+	return http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.met.start).Seconds(),
+	}
+}
+
+func (s *Server) metricsHandler(*http.Request) (int, any) {
+	return http.StatusOK, s.met.snapshot(s.pool, s.trees, s.models,
+		s.cfg.TreeCacheSize, s.cfg.ModelCacheSize)
+}

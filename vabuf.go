@@ -158,6 +158,18 @@ func NewTree(wire WireParams, driverR float64, at Point) *Tree {
 // (p1, p2, r1–r5) with its fixed seed.
 func GenerateBenchmark(name string) (*Tree, error) { return benchgen.Build(name) }
 
+// Benchmarks returns the names of the built-in Table 1 benchmarks in
+// presentation order (p1, p2, r1–r5). Each name is accepted by
+// GenerateBenchmark.
+func Benchmarks() []string {
+	specs := benchgen.Presets()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
 // GenerateTree builds a random routing tree from a spec.
 func GenerateTree(spec BenchmarkSpec) (*Tree, error) { return benchgen.Random(spec) }
 
