@@ -284,14 +284,21 @@ func mcSetup(b *testing.B) (*vabuf.Tree, *vabuf.VariationModel, vabuf.Library, m
 // --- micro-benchmarks of the DP engines on the Table 1 presets ---
 
 func benchInsert(b *testing.B, bench string, variationAware bool) {
+	benchInsertP(b, bench, variationAware, 0)
+}
+
+// benchInsertP pins the engine parallelism: 1 is the serial baseline, >1
+// exercises the subtree worker pool (results are identical either way).
+func benchInsertP(b *testing.B, bench string, variationAware bool, parallelism int) {
 	tree, err := vabuf.GenerateBenchmark(bench)
 	if err != nil {
 		b.Fatal(err)
 	}
 	lib := vabuf.DefaultLibrary()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		opts := vabuf.Options{Library: lib}
+		opts := vabuf.Options{Library: lib, Parallelism: parallelism}
 		if variationAware {
 			b.StopTimer()
 			cfg := vabuf.DefaultModelConfig(tree)
@@ -320,3 +327,10 @@ func BenchmarkInsertNOMr5(b *testing.B) { benchInsert(b, "r5", false) }
 func BenchmarkInsertWIDp1(b *testing.B) { benchInsert(b, "p1", true) }
 func BenchmarkInsertWIDr3(b *testing.B) { benchInsert(b, "r3", true) }
 func BenchmarkInsertWIDr5(b *testing.B) { benchInsert(b, "r5", true) }
+
+// Serial/parallel pairs on the multi-sink benchmarks: the scripts/bench.sh
+// snapshot tracks their ratio as the parallel-speedup signal.
+func BenchmarkInsertWIDr3Serial(b *testing.B) { benchInsertP(b, "r3", true, 1) }
+func BenchmarkInsertWIDr3Par4(b *testing.B)   { benchInsertP(b, "r3", true, 4) }
+func BenchmarkInsertWIDr5Serial(b *testing.B) { benchInsertP(b, "r5", true, 1) }
+func BenchmarkInsertWIDr5Par4(b *testing.B)   { benchInsertP(b, "r5", true, 4) }

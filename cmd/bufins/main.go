@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -34,6 +36,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bufins:", err)
 		os.Exit(1)
 	}
+}
+
+// profileTo starts a CPU profile and/or arranges a heap profile; the
+// returned func finalizes both. Shared by bufins and experiments via copy —
+// it is 20 lines of flag glue, not worth a package.
+func profileTo(cpuFile, memFile string) (func() error, error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpu = f
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return err
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 func run() error {
@@ -54,8 +94,21 @@ func run() error {
 		wireSize  = flag.Bool("wire-sizing", false, "enable simultaneous wire sizing")
 		critN     = flag.Int("criticality", 0, "print the N most critical sinks")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON (the vabufd /v1/insert DTO)")
+		parallel  = flag.Int("parallel", 0, "DP worker goroutines (0 = GOMAXPROCS, 1 = serial; results identical)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	finishProfiles, err := profileTo(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := finishProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "bufins: profile:", err)
+		}
+	}()
 
 	if err := server.CheckUnitInterval("-pbar", *pbar); err != nil {
 		return err
@@ -89,6 +142,7 @@ func run() error {
 		SelectQuantile: *quantile,
 		MaxCandidates:  *maxCand,
 		Timeout:        *timeout,
+		Parallelism:    *parallel,
 	}
 	if *wireSize {
 		opts.WireLibrary = vabuf.DefaultWireLibrary()

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"vabuf/internal/experiments"
@@ -25,23 +27,74 @@ func main() {
 	}
 }
 
+// profileTo starts a CPU profile and/or arranges a heap profile; the
+// returned func finalizes both.
+func profileTo(cpuFile, memFile string) (func() error, error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpu = f
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return err
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
 func run() error {
 	var (
-		which   = flag.String("run", "all", "experiment to run (all, table1, table2, table3, table4, table5, fig2, fig3, fig5, fig6, pbar, capacity)")
-		quick   = flag.Bool("quick", false, "downsized configuration for a fast pass")
-		budget  = flag.Float64("budget", 0, "per-class variation budget (default 0.15; paper's stated value is 0.05)")
-		mc      = flag.Int("mc", 0, "Monte-Carlo samples for Figure 6")
-		htree   = flag.Int("htree", 0, "H-tree levels for the capacity run")
-		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all)")
-		pbarOn  = flag.String("pbar-bench", "r1", "benchmark for the pbar sweep")
-		csvDir  = flag.String("csv", "", "also write the figure data series as CSV files into this directory")
+		which    = flag.String("run", "all", "experiment to run (all, table1, table2, table3, table4, table5, fig2, fig3, fig5, fig6, pbar, capacity)")
+		quick    = flag.Bool("quick", false, "downsized configuration for a fast pass")
+		budget   = flag.Float64("budget", 0, "per-class variation budget (default 0.15; paper's stated value is 0.05)")
+		mc       = flag.Int("mc", 0, "Monte-Carlo samples for Figure 6")
+		htree    = flag.Int("htree", 0, "H-tree levels for the capacity run")
+		benches  = flag.String("benches", "", "comma-separated benchmark subset (default: all)")
+		pbarOn   = flag.String("pbar-bench", "r1", "benchmark for the pbar sweep")
+		csvDir   = flag.String("csv", "", "also write the figure data series as CSV files into this directory")
+		parallel = flag.Int("parallel", 0, "DP worker goroutines per insertion (0 = GOMAXPROCS, 1 = serial; results identical)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	finishProfiles, err := profileTo(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := finishProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: profile:", err)
+		}
+	}()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
 		cfg = experiments.QuickConfig()
 	}
+	cfg.Parallelism = *parallel
 	if *budget != 0 {
 		cfg.BudgetFrac = *budget
 	}

@@ -41,7 +41,8 @@ func main() {
 		modelCache = flag.Int("model-cache", 32, "variation-model LRU entries")
 		timeout    = flag.Duration("timeout", 2*time.Minute,
 			"default per-request insertion deadline (0 = none)")
-		maxBody = flag.Int64("max-body", 8<<20, "request body limit in bytes")
+		maxBody     = flag.Int64("max-body", 8<<20, "request body limit in bytes")
+		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		ModelCacheSize:  *modelCache,
 		DefaultTimeout:  *timeout,
 		MaxRequestBytes: *maxBody,
+		EnablePprof:     *enablePprof,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,27 @@
+package core
+
+// candBlock is the number of Candidates per slab (~80 KiB per block).
+const candBlock = 1024
+
+// candArena slab-allocates Candidate structs for one DP worker. Candidates
+// stay reachable through the pred DAG until the run ends, so individual
+// frees are pointless — the whole slab set dies with the run. Blocks are
+// not pooled across runs: Candidates hold pointers (pred/pred2), and a
+// recycled block would keep an arbitrary amount of dead DAG alive.
+type candArena struct {
+	cur   []Candidate
+	off   int
+	count int64
+}
+
+// alloc returns a pointer to a zeroed Candidate from the current block.
+func (a *candArena) alloc() *Candidate {
+	if a.off == len(a.cur) {
+		a.cur = make([]Candidate, candBlock)
+		a.off = 0
+	}
+	c := &a.cur[a.off]
+	a.off++
+	a.count++
+	return c
+}

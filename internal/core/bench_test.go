@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"vabuf/internal/benchgen"
+	"vabuf/internal/device"
+	"vabuf/internal/variation"
+)
+
+// benchList builds a candidate list with per-candidate private sources,
+// the input shape of the statistical pruning rules.
+func benchList(n int) ([]*Candidate, *variation.Space) {
+	space := variation.NewSpace()
+	rng := rand.New(rand.NewSource(7))
+	list := make([]*Candidate, n)
+	for i := range list {
+		list[i] = mkStatCand(space, rng.Float64()*50, rng.Float64(),
+			-rng.Float64()*50, rng.Float64())
+	}
+	return list, space
+}
+
+func benchmarkPrune(b *testing.B, rule Rule, n int) {
+	base, space := benchList(n)
+	opts := Options{Rule: rule, PbarL: 0.9, PbarT: 0.9, FourP: DefaultFourP()}
+	var st Stats
+	p := newPruner(space, opts, &st)
+	work := make([]*Candidate, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// prune reorders the slice in place but never mutates candidates.
+		copy(work, base)
+		sinkList = p.prune(work)
+	}
+}
+
+// sinkList defeats dead-code elimination.
+var sinkList []*Candidate
+
+func BenchmarkPrune2P256(b *testing.B)  { benchmarkPrune(b, Rule2P, 256) }
+func BenchmarkPrune2P1024(b *testing.B) { benchmarkPrune(b, Rule2P, 1024) }
+func BenchmarkPrune4P256(b *testing.B)  { benchmarkPrune(b, Rule4P, 256) }
+func BenchmarkPrune4P1024(b *testing.B) { benchmarkPrune(b, Rule4P, 1024) }
+
+// benchmarkInsert runs the full DP on a Table 1 preset. With a model it is
+// the paper's 2P variation-aware engine; parallelism 1 forces the serial
+// path, 4 exercises the worker fan-out.
+func benchmarkInsert(b *testing.B, bench string, withModel bool, parallelism int) {
+	tr, err := benchgen.Build(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := device.DefaultLibrary()
+	var model *variation.Model
+	if withModel {
+		model, err = variation.NewModel(variation.DefaultConfig(tr.BoundingBox().Expand(100)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Insert(tr, Options{Library: lib, Model: model, Parallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NumBuffers == 0 {
+			b.Fatal("no buffers inserted")
+		}
+	}
+}
+
+func BenchmarkInsertNOMp1Serial(b *testing.B) { benchmarkInsert(b, "p1", false, 1) }
+func BenchmarkInsertNOMp1Par4(b *testing.B)   { benchmarkInsert(b, "p1", false, 4) }
+func BenchmarkInsertWIDp1Serial(b *testing.B) { benchmarkInsert(b, "p1", true, 1) }
+func BenchmarkInsertWIDp1Par4(b *testing.B)   { benchmarkInsert(b, "p1", true, 4) }
+func BenchmarkInsertWIDr1Serial(b *testing.B) { benchmarkInsert(b, "r1", true, 1) }
+func BenchmarkInsertWIDr1Par4(b *testing.B)   { benchmarkInsert(b, "r1", true, 4) }

@@ -1,29 +1,68 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"vabuf/internal/rctree"
 	"vabuf/internal/variation"
 )
 
-// engine carries the per-run state of the dynamic program.
+// engine carries the per-run shared state of the dynamic program: the
+// immutable inputs (tree, options, precomputed site deviations) plus the
+// synchronization needed when subtrees are processed concurrently.
 type engine struct {
 	tree    *rctree.Tree
 	opts    Options
 	space   *variation.Space
-	prn     *pruner
-	stats   Stats
+	ctx     context.Context
 	maxCand int
 	start   time.Time
+	// dev holds the precomputed device deviation form per buffer site.
+	// Model.Deviation allocates sources lazily and is not goroutine-safe,
+	// so the engine resolves every site up front — in post order, the same
+	// source-allocation order as the serial engine, keeping SourceIDs (and
+	// therefore every term-merge order) bit-identical.
+	dev []variation.Form
+
+	// sem holds the spawn tokens for extra DP workers (nil = serial).
+	sem chan struct{}
+	// abort flips on the first failure so sibling workers stop early.
+	abort atomic.Bool
+
+	mu     sync.Mutex
+	stats  Stats
+	err    error // first real failure (never errAborted)
+	arenas []*variation.Arena
 }
+
+// worker is the per-goroutine state of the DP: private stats, pruner, and
+// arenas, merged into the engine when the worker retires. The serial
+// engine is simply a run with one worker.
+type worker struct {
+	eng   *engine
+	stats Stats
+	prn   *pruner
+	cands candArena
+	terms *variation.Arena
+}
+
+// errAborted is the sentinel a worker returns when it stops because a
+// sibling already failed; Insert resolves it to the first real error.
+var errAborted = errors.New("core: aborted by concurrent failure")
 
 // Insert runs dynamic-programming buffer insertion on the tree and returns
 // the chosen assignment together with the root RAT distribution. With a
 // nil Options.Model it is exactly the deterministic van Ginneken algorithm
 // over B buffer types; with a model it is the variation-aware algorithm of
 // §4 under the pruning rule selected in the options.
+//
+// Independent subtrees are processed by up to Options.Parallelism workers;
+// the returned result is bit-identical for every parallelism level.
 func Insert(tree *rctree.Tree, opts Options) (*Result, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
@@ -38,81 +77,223 @@ func Insert(tree *rctree.Tree, opts Options) (*Result, error) {
 	e := &engine{
 		tree:    tree,
 		opts:    o,
+		ctx:     o.Context,
 		maxCand: o.MaxCandidates,
 		start:   time.Now(),
 	}
 	if o.Model != nil {
 		e.space = o.Model.Space
+		e.dev = make([]variation.Form, tree.Len())
+		for _, id := range tree.PostOrder() {
+			if n := tree.Node(id); n.BufferOK {
+				e.dev[id] = o.Model.Deviation(int(id), n.Loc)
+			}
+		}
 	} else {
 		e.space = variation.NewSpace()
 	}
-	e.prn = newPruner(e.space, o, &e.stats)
-	if o.Timeout > 0 {
-		e.prn.deadline = e.start.Add(o.Timeout)
+	if o.Parallelism > 1 {
+		e.sem = make(chan struct{}, o.Parallelism-1)
 	}
 
-	lists := make([]polarityLists, len(tree.Nodes))
-	for _, id := range tree.PostOrder() {
-		if o.Timeout > 0 && time.Since(e.start) > o.Timeout {
-			return nil, fmt.Errorf("%w after %d nodes", ErrTimeout, e.stats.Nodes)
+	w := e.newWorker()
+	rootLists, err := w.dp(tree.Root)
+	e.retire(w)
+	if err != nil {
+		if errors.Is(err, errAborted) {
+			err = e.firstErr()
 		}
-		node := tree.Node(id)
-		var pl polarityLists
-		switch node.Kind {
-		case rctree.KindSink:
-			// A sink must receive the true polarity.
-			pl[0] = []*Candidate{e.leaf(id, node)}
-		default:
-			first := true
-			for _, child := range node.Children {
-				var wired polarityLists
-				for p := 0; p < 2; p++ {
-					wired[p] = e.wireUp(id, child, lists[child][p])
+		e.release()
+		return nil, err
+	}
+	res, err := e.selectRoot(rootLists[0])
+	e.release()
+	return res, err
+}
+
+// newWorker creates a DP worker with private stats, pruner, and arenas.
+func (e *engine) newWorker() *worker {
+	w := &worker{eng: e, terms: variation.NewArena()}
+	w.prn = newPruner(e.space, e.opts, &w.stats)
+	if e.opts.Timeout > 0 {
+		w.prn.deadline = e.start.Add(e.opts.Timeout)
+	}
+	w.prn.ctx = e.ctx
+	e.mu.Lock()
+	e.arenas = append(e.arenas, w.terms)
+	e.mu.Unlock()
+	return w
+}
+
+// retire folds a worker's counters into the run totals. Sums and maxima
+// commute, so the merge order does not affect the reported stats.
+func (e *engine) retire(w *worker) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Generated += w.stats.Generated
+	e.stats.Pruned += w.stats.Pruned
+	e.stats.Merges += w.stats.Merges
+	e.stats.Nodes += w.stats.Nodes
+	if w.stats.PeakList > e.stats.PeakList {
+		e.stats.PeakList = w.stats.PeakList
+	}
+	e.stats.Workers++
+	e.stats.ArenaCandidates += w.cands.count
+	e.stats.ArenaTerms += w.terms.Terms()
+	e.stats.ArenaBytes += w.terms.Bytes()
+}
+
+// release returns every term arena's slabs to the shared pool. Only legal
+// once nothing can touch a candidate form again (Result detaches its RAT
+// with Clone in selectRoot).
+func (e *engine) release() {
+	e.mu.Lock()
+	arenas := e.arenas
+	e.arenas = nil
+	e.mu.Unlock()
+	for _, a := range arenas {
+		a.Release()
+	}
+}
+
+// fail records the first real failure and flips the abort flag so sibling
+// workers wind down at their next node.
+func (e *engine) fail(err error) error {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+	e.abort.Store(true)
+	return err
+}
+
+func (e *engine) firstErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return e.err
+	}
+	return errAborted
+}
+
+// dp computes the candidate lists of the subtree rooted at id. Children of
+// multi-child nodes are DP'd concurrently when spawn tokens are available;
+// the fold over child results always runs on this worker in child order,
+// so the generated candidate sequence — and with it every sort, prune, and
+// merge — matches the serial engine exactly.
+func (w *worker) dp(id rctree.NodeID) (polarityLists, error) {
+	e := w.eng
+	if e.abort.Load() {
+		return polarityLists{}, errAborted
+	}
+	if e.opts.Timeout > 0 && time.Since(e.start) > e.opts.Timeout {
+		return polarityLists{}, e.fail(fmt.Errorf("%w after %d nodes", ErrTimeout, w.stats.Nodes))
+	}
+	if e.ctx != nil {
+		if cerr := e.ctx.Err(); cerr != nil {
+			return polarityLists{}, e.fail(fmt.Errorf("%w after %d nodes: %v", ErrCanceled, w.stats.Nodes, cerr))
+		}
+	}
+	node := e.tree.Node(id)
+	var pl polarityLists
+	switch node.Kind {
+	case rctree.KindSink:
+		// A sink must receive the true polarity.
+		pl[0] = []*Candidate{w.leaf(id, node)}
+	default:
+		kids := node.Children
+		sub := make([]polarityLists, len(kids))
+		errs := make([]error, len(kids))
+		if e.sem != nil && len(kids) > 1 {
+			// Fan out: children beyond the first run on spawned workers
+			// when tokens are free; the rest run inline on this worker.
+			var wg sync.WaitGroup
+			inline := make([]int, 0, len(kids))
+			inline = append(inline, 0)
+			for i := 1; i < len(kids); i++ {
+				select {
+				case e.sem <- struct{}{}:
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						defer func() { <-e.sem }()
+						cw := e.newWorker()
+						sub[i], errs[i] = cw.dp(kids[i])
+						e.retire(cw)
+					}(i)
+				default:
+					inline = append(inline, i)
 				}
-				lists[child] = polarityLists{} // release early
-				if first {
-					pl = wired
-					first = false
+			}
+			for _, i := range inline {
+				sub[i], errs[i] = w.dp(kids[i])
+			}
+			wg.Wait()
+		} else {
+			for i, child := range kids {
+				sub[i], errs[i] = w.dp(child)
+				if errs[i] != nil {
+					break
+				}
+			}
+		}
+		for _, err := range errs {
+			if err != nil {
+				return polarityLists{}, err
+			}
+		}
+		// Join: wire each subtree up to this node and merge in child
+		// order — the same operation sequence as the serial engine.
+		for i, child := range kids {
+			var wired polarityLists
+			for p := 0; p < 2; p++ {
+				wired[p] = w.wireUp(id, child, sub[i][p])
+			}
+			sub[i] = polarityLists{} // release early
+			if i == 0 {
+				pl = wired
+				continue
+			}
+			// Subtrees sharing a driving point must require the same
+			// polarity; a polarity unavailable on either side dies.
+			for p := 0; p < 2; p++ {
+				if len(pl[p]) == 0 || len(wired[p]) == 0 {
+					pl[p] = nil
 					continue
 				}
-				// Subtrees sharing a driving point must require the same
-				// polarity; a polarity unavailable on either side dies.
-				for p := 0; p < 2; p++ {
-					if len(pl[p]) == 0 || len(wired[p]) == 0 {
-						pl[p] = nil
-						continue
-					}
-					merged, err := e.merge(id, pl[p], wired[p])
-					if err != nil {
-						return nil, err
-					}
-					pl[p] = e.prn.prune(merged)
+				merged, err := w.merge(id, pl[p], wired[p])
+				if err != nil {
+					return polarityLists{}, e.fail(err)
 				}
+				pl[p] = w.prn.prune(merged)
 			}
 		}
-		if node.BufferOK {
-			raw := e.addBuffers(id, node, pl)
-			if err := e.checkBudget(len(raw[0]) + len(raw[1])); err != nil {
-				return nil, err
-			}
-			for p := 0; p < 2; p++ {
-				pl[p] = e.prn.prune(raw[p])
-			}
-		}
-		if e.prn.timedOut {
-			return nil, fmt.Errorf("%w during pruning after %d nodes", ErrTimeout, e.stats.Nodes)
-		}
-		total := len(pl[0]) + len(pl[1])
-		if err := e.checkBudget(total); err != nil {
-			return nil, err
-		}
-		if total > e.stats.PeakList {
-			e.stats.PeakList = total
-		}
-		e.stats.Nodes++
-		lists[id] = pl
 	}
-	return e.selectRoot(lists[tree.Root][0])
+	if node.BufferOK {
+		raw := w.addBuffers(id, node, pl)
+		if err := w.checkBudget(len(raw[0]) + len(raw[1])); err != nil {
+			return polarityLists{}, e.fail(err)
+		}
+		for p := 0; p < 2; p++ {
+			pl[p] = w.prn.prune(raw[p])
+		}
+	}
+	if w.prn.timedOut {
+		return polarityLists{}, e.fail(fmt.Errorf("%w during pruning after %d nodes", ErrTimeout, w.stats.Nodes))
+	}
+	if w.prn.canceled {
+		return polarityLists{}, e.fail(fmt.Errorf("%w during pruning after %d nodes", ErrCanceled, w.stats.Nodes))
+	}
+	total := len(pl[0]) + len(pl[1])
+	if err := w.checkBudget(total); err != nil {
+		return polarityLists{}, e.fail(err)
+	}
+	if total > w.stats.PeakList {
+		w.stats.PeakList = total
+	}
+	w.stats.Nodes++
+	return pl, nil
 }
 
 // polarityLists holds the candidate lists per required signal polarity:
@@ -122,14 +303,13 @@ func Insert(tree *rctree.Tree, opts Options) (*Result, error) {
 type polarityLists [2][]*Candidate
 
 // leaf builds the sink candidate (eq. "L = CapLoad, T = RAT").
-func (e *engine) leaf(id rctree.NodeID, node *rctree.Node) *Candidate {
-	c := &Candidate{
-		L:    variation.Const(node.CapLoad),
-		T:    variation.Const(node.RAT),
-		node: id,
-		op:   opLeaf,
-	}
-	e.stats.Generated++
+func (w *worker) leaf(id rctree.NodeID, node *rctree.Node) *Candidate {
+	c := w.cands.alloc()
+	c.L = variation.Const(node.CapLoad)
+	c.T = variation.Const(node.RAT)
+	c.node = id
+	c.op = opLeaf
+	w.stats.Generated++
 	return c
 }
 
@@ -137,53 +317,53 @@ func (e *engine) leaf(id rctree.NodeID, node *rctree.Node) *Candidate {
 // (eq. 25–26 / 33–34). Without wire sizing the transformation is
 // order-preserving, so a pruned, sorted input stays pruned and sorted;
 // with a wire library every choice is generated and the union pruned.
-func (e *engine) wireUp(parent, child rctree.NodeID, list []*Candidate) []*Candidate {
-	l := e.tree.Node(child).WireLen
+func (w *worker) wireUp(parent, child rctree.NodeID, list []*Candidate) []*Candidate {
+	l := w.eng.tree.Node(child).WireLen
 	if l == 0 {
 		return list
 	}
-	if len(e.opts.WireLibrary) == 0 {
-		return e.wireChoice(child, list, e.tree.Wire, -1)
+	if len(w.eng.opts.WireLibrary) == 0 {
+		return w.wireChoice(child, list, w.eng.tree.Wire, -1)
 	}
-	out := make([]*Candidate, 0, len(list)*len(e.opts.WireLibrary))
-	for wi, wc := range e.opts.WireLibrary {
-		out = append(out, e.wireChoice(child, list, wc.Params, int16(wi))...)
+	out := make([]*Candidate, 0, len(list)*len(w.eng.opts.WireLibrary))
+	for wi, wc := range w.eng.opts.WireLibrary {
+		out = append(out, w.wireChoice(child, list, wc.Params, int16(wi))...)
 	}
-	return e.prn.prune(out)
+	return w.prn.prune(out)
 }
 
 // wireChoice applies one wire option along the edge child → parent. The
 // candidate records the child node so backtracking can attribute the
 // sizing decision to its edge.
-func (e *engine) wireChoice(child rctree.NodeID, list []*Candidate, wp rctree.WireParams, wi int16) []*Candidate {
-	l := e.tree.Node(child).WireLen
+func (w *worker) wireChoice(child rctree.NodeID, list []*Candidate, wp rctree.WireParams, wi int16) []*Candidate {
+	l := w.eng.tree.Node(child).WireLen
 	halfRC := 0.5 * wp.R * wp.C * l * l
 	out := make([]*Candidate, len(list))
 	for i, s := range list {
-		nc := &Candidate{
-			L:    s.L.Shift(wp.C * l),
-			T:    s.T.AXPY(-wp.R*l, s.L).Shift(-halfRC),
-			node: child,
-			op:   opWire,
-			wire: wi,
-			pred: s,
-		}
-		if e.prn.needSigmas() {
-			nc.fillSigmas(e.space)
+		nc := w.cands.alloc()
+		nc.L = s.L.Shift(wp.C * l)
+		nc.T = s.T.AXPYIn(w.terms, -wp.R*l, s.L).Shift(-halfRC)
+		nc.node = child
+		nc.op = opWire
+		nc.wire = wi
+		nc.pred = s
+		if w.prn.needSigmas() {
+			nc.fillSigmas(w.eng.space)
 		}
 		out[i] = nc
 	}
-	e.stats.Generated += int64(len(list))
+	w.stats.Generated += int64(len(list))
 	return out
 }
 
 // deviation returns the relative device deviation form at a site, or the
-// zero form for deterministic runs.
-func (e *engine) deviation(id rctree.NodeID, node *rctree.Node) variation.Form {
-	if e.opts.Model == nil {
+// zero form for deterministic runs. Sites were resolved up front, so this
+// never touches the model.
+func (e *engine) deviation(id rctree.NodeID) variation.Form {
+	if e.dev == nil {
 		return variation.Form{}
 	}
-	return e.opts.Model.Deviation(int(id), node.Loc)
+	return e.dev[id]
 }
 
 // addBuffers augments the polarity lists with one buffered candidate per
@@ -192,12 +372,12 @@ func (e *engine) deviation(id rctree.NodeID, node *rctree.Node) variation.Form {
 // (they are driven by the same device's process parameters), per
 // eq. 23–24. A non-inverting buffer keeps the candidate's required
 // polarity; an inverter flips it.
-func (e *engine) addBuffers(id rctree.NodeID, node *rctree.Node, pl polarityLists) polarityLists {
-	dev := e.deviation(id, node)
+func (w *worker) addBuffers(id rctree.NodeID, node *rctree.Node, pl polarityLists) polarityLists {
+	dev := w.eng.deviation(id)
 	out := pl
-	for bi, b := range e.opts.Library {
-		cbForm := variation.Const(b.Cb0).Add(dev.Scale(b.Cb0))
-		tbForm := variation.Const(b.Tb0).Add(dev.Scale(b.Tb0))
+	for bi, b := range w.eng.opts.Library {
+		cbForm := dev.ScaleIn(w.terms, b.Cb0).Shift(b.Cb0)
+		tbForm := dev.ScaleIn(w.terms, b.Tb0).Shift(b.Tb0)
 		for p := 0; p < 2; p++ {
 			target := p
 			if b.Inverting {
@@ -211,19 +391,18 @@ func (e *engine) addBuffers(id rctree.NodeID, node *rctree.Node, pl polarityList
 				if b.MaxLoad > 0 && s.L.Nominal > b.MaxLoad {
 					continue
 				}
-				nc := &Candidate{
-					L:    cbForm,
-					T:    s.T.Sub(tbForm).AXPY(-b.Rb, s.L),
-					node: id,
-					op:   opBuffer,
-					buf:  int16(bi),
-					pred: s,
-				}
-				if e.prn.needSigmas() {
-					nc.fillSigmas(e.space)
+				nc := w.cands.alloc()
+				nc.L = cbForm
+				nc.T = s.T.SubIn(w.terms, tbForm).AXPYIn(w.terms, -b.Rb, s.L)
+				nc.node = id
+				nc.op = opBuffer
+				nc.buf = int16(bi)
+				nc.pred = s
+				if w.prn.needSigmas() {
+					nc.fillSigmas(w.eng.space)
 				}
 				out[target] = append(out[target], nc)
-				e.stats.Generated++
+				w.stats.Generated++
 			}
 		}
 	}
@@ -231,20 +410,20 @@ func (e *engine) addBuffers(id rctree.NodeID, node *rctree.Node, pl polarityList
 }
 
 // checkBudget enforces the candidate cap.
-func (e *engine) checkBudget(n int) error {
-	if e.maxCand > 0 && n > e.maxCand {
-		return e.capacityErr(n)
+func (w *worker) checkBudget(n int) error {
+	if w.eng.maxCand > 0 && n > w.eng.maxCand {
+		return w.capacityErr(n)
 	}
 	return nil
 }
 
-func (e *engine) capacityErr(n int) error {
+func (w *worker) capacityErr(n int) error {
 	total := 0
-	if e.tree != nil {
-		total = e.tree.Len()
+	if w.eng.tree != nil {
+		total = w.eng.tree.Len()
 	}
 	return fmt.Errorf("%w: %d candidates > limit %d (rule %v, node %d of %d)",
-		ErrCapacity, n, e.maxCand, e.opts.Rule, e.stats.Nodes, total)
+		ErrCapacity, n, w.eng.maxCand, w.eng.opts.Rule, w.stats.Nodes, total)
 }
 
 // selectRoot applies the driver delay to every surviving root candidate
@@ -279,6 +458,9 @@ func (e *engine) selectRoot(rootList []*Candidate) (*Result, error) {
 	}
 	best.collectDecisions(assignment, wires)
 	e.stats.Elapsed = time.Since(e.start)
+	// Detach the RAT from the (pooled) term arenas before they are
+	// released: the fast path of AXPY can alias a candidate's terms.
+	bestRAT = bestRAT.Clone()
 	return &Result{
 		Assignment:     assignment,
 		WireAssignment: wires,

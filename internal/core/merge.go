@@ -7,20 +7,19 @@ import (
 
 // mergeCand combines one candidate from each subtree at node (eq. 29–30 /
 // eq. 37–38): loads add, RATs take the statistical minimum.
-func (e *engine) mergeCand(node rctree.NodeID, a, b *Candidate) *Candidate {
-	res := variation.Min(a.T, b.T, e.space)
-	c := &Candidate{
-		L:     a.L.Add(b.L),
-		T:     res.Form,
-		node:  node,
-		op:    opMerge,
-		pred:  a,
-		pred2: b,
+func (w *worker) mergeCand(node rctree.NodeID, a, b *Candidate) *Candidate {
+	res := variation.MinIn(w.terms, a.T, b.T, w.eng.space)
+	c := w.cands.alloc()
+	c.L = a.L.AddIn(w.terms, b.L)
+	c.T = res.Form
+	c.node = node
+	c.op = opMerge
+	c.pred = a
+	c.pred2 = b
+	if w.prn.needSigmas() {
+		c.fillSigmas(w.eng.space)
 	}
-	if e.prn.needSigmas() {
-		c.fillSigmas(e.space)
-	}
-	e.stats.Generated++
+	w.stats.Generated++
 	return c
 }
 
@@ -30,11 +29,11 @@ func (e *engine) mergeCand(node rctree.NodeID, a, b *Candidate) *Candidate {
 // The pointer whose candidate currently limits the merged RAT (the smaller
 // mean T) advances, because only a better version of that side can improve
 // the combination.
-func (e *engine) mergeLinear(node rctree.NodeID, a, b []*Candidate) ([]*Candidate, error) {
+func (w *worker) mergeLinear(node rctree.NodeID, a, b []*Candidate) ([]*Candidate, error) {
 	out := make([]*Candidate, 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
-		out = append(out, e.mergeCand(node, a[i], b[j]))
+		out = append(out, w.mergeCand(node, a[i], b[j]))
 		// Advance the side with the smaller mean T; advance both on ties.
 		switch {
 		case a[i].T.Nominal < b[j].T.Nominal:
@@ -46,33 +45,33 @@ func (e *engine) mergeLinear(node rctree.NodeID, a, b []*Candidate) ([]*Candidat
 			j++
 		}
 	}
-	if err := e.checkBudget(len(out)); err != nil {
+	if err := w.checkBudget(len(out)); err != nil {
 		return nil, err
 	}
-	e.stats.Merges++
+	w.stats.Merges++
 	return out, nil
 }
 
 // mergeCross is the O(n·m) cross-product merge the 4P partial order forces
 // (§2.2): without a strict ordering no combination can be skipped.
-func (e *engine) mergeCross(node rctree.NodeID, a, b []*Candidate) ([]*Candidate, error) {
-	if e.maxCand > 0 && len(a)*len(b) > e.maxCand {
-		return nil, e.capacityErr(len(a) * len(b))
+func (w *worker) mergeCross(node rctree.NodeID, a, b []*Candidate) ([]*Candidate, error) {
+	if w.eng.maxCand > 0 && len(a)*len(b) > w.eng.maxCand {
+		return nil, w.capacityErr(len(a) * len(b))
 	}
 	out := make([]*Candidate, 0, len(a)*len(b))
 	for _, ca := range a {
 		for _, cb := range b {
-			out = append(out, e.mergeCand(node, ca, cb))
+			out = append(out, w.mergeCand(node, ca, cb))
 		}
 	}
-	e.stats.Merges++
+	w.stats.Merges++
 	return out, nil
 }
 
 // merge dispatches on the active rule.
-func (e *engine) merge(node rctree.NodeID, a, b []*Candidate) ([]*Candidate, error) {
-	if e.opts.Rule == Rule4P {
-		return e.mergeCross(node, a, b)
+func (w *worker) merge(node rctree.NodeID, a, b []*Candidate) ([]*Candidate, error) {
+	if w.eng.opts.Rule == Rule4P {
+		return w.mergeCross(node, a, b)
 	}
-	return e.mergeLinear(node, a, b)
+	return w.mergeLinear(node, a, b)
 }

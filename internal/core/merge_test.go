@@ -8,29 +8,30 @@ import (
 	"vabuf/internal/variation"
 )
 
-func testEngine(rule Rule) *engine {
+func testWorker(rule Rule) *worker {
 	opts := Options{Rule: rule, PbarL: 0.5, PbarT: 0.5, FourP: DefaultFourP()}
 	e := &engine{opts: opts, space: variation.NewSpace()}
-	e.prn = newPruner(e.space, opts, &e.stats)
-	return e
+	w := &worker{eng: e, terms: variation.NewArena()}
+	w.prn = newPruner(w.eng.space, opts, &w.stats)
+	return w
 }
 
 // TestLinearMergeFigure1 reproduces the mechanism of Figure 1: two sorted
 // three-candidate lists merge in one linear pass into a sorted,
 // non-dominated list of at most n+m-1 candidates.
 func TestLinearMergeFigure1(t *testing.T) {
-	e := testEngine(Rule2P)
+	w := testWorker(Rule2P)
 	// Strictly sorted in both L and T (as in the figure).
 	a := []*Candidate{mkCand(1, -30), mkCand(2, -20), mkCand(3, -10)}
 	b := []*Candidate{mkCand(1.5, -25), mkCand(2.5, -15), mkCand(4, -5)}
-	out, err := e.mergeLinear(0, a, b)
+	out, err := w.mergeLinear(0, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out) > len(a)+len(b)-1 {
 		t.Fatalf("merge emitted %d candidates, linear bound is %d", len(out), len(a)+len(b)-1)
 	}
-	out = e.prn.prune(out)
+	out = w.prn.prune(out)
 	// Loads add; RATs are the pairwise min.
 	for _, c := range out {
 		if c.L.Nominal < 2.5 || c.L.Nominal > 7 {
@@ -65,26 +66,26 @@ func TestLinearMergeFigure1(t *testing.T) {
 func TestMergeLinearEquivalentToCrossProduct(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	for trial := 0; trial < 200; trial++ {
-		e := testEngine(Rule2P)
+		w := testWorker(Rule2P)
 		mk := func(n int) []*Candidate {
 			list := make([]*Candidate, n)
 			for i := range list {
 				list[i] = mkCand(rng.Float64()*50, -rng.Float64()*50)
 			}
-			return e.prn.prune(list)
+			return w.prn.prune(list)
 		}
 		a := mk(1 + rng.Intn(12))
 		b := mk(1 + rng.Intn(12))
-		lin, err := e.mergeLinear(0, a, b)
+		lin, err := w.mergeLinear(0, a, b)
 		if err != nil {
 			t.Fatal(err)
 		}
-		lin = e.prn.prune(lin)
-		cross, err := e.mergeCross(0, a, b)
+		lin = w.prn.prune(lin)
+		cross, err := w.mergeCross(0, a, b)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cross = e.prn.prune(cross)
+		cross = w.prn.prune(cross)
 		if len(lin) != len(cross) {
 			t.Fatalf("trial %d: linear kept %d, cross kept %d", trial, len(lin), len(cross))
 		}
@@ -100,10 +101,10 @@ func TestMergeLinearEquivalentToCrossProduct(t *testing.T) {
 }
 
 func TestMergeCrossSize(t *testing.T) {
-	e := testEngine(Rule4P)
+	w := testWorker(Rule4P)
 	a := []*Candidate{mkCand(1, -1), mkCand(2, -2)}
 	b := []*Candidate{mkCand(3, -3), mkCand(4, -4), mkCand(5, -5)}
-	out, err := e.mergeCross(0, a, b)
+	out, err := w.mergeCross(0, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +114,11 @@ func TestMergeCrossSize(t *testing.T) {
 }
 
 func TestMergeCrossCapacity(t *testing.T) {
-	e := testEngine(Rule4P)
-	e.maxCand = 5
+	w := testWorker(Rule4P)
+	w.eng.maxCand = 5
 	a := []*Candidate{mkCand(1, -1), mkCand(2, -2), mkCand(3, -3)}
 	b := []*Candidate{mkCand(4, -4), mkCand(5, -5)}
-	if _, err := e.mergeCross(0, a, b); err == nil {
+	if _, err := w.mergeCross(0, a, b); err == nil {
 		t.Error("capacity-exceeding cross product accepted")
 	}
 }
@@ -126,8 +127,8 @@ func TestMergeStatisticalCorrelation(t *testing.T) {
 	// Merging correlated subtrees must use the correlation-aware min: with
 	// perfectly correlated equal-variance inputs, min is exactly the
 	// smaller input (no Clark penalty).
-	e := testEngine(Rule2P)
-	src := e.space.Add(variation.ClassInterDie, 1, "G")
+	w := testWorker(Rule2P)
+	src := w.eng.space.Add(variation.ClassInterDie, 1, "G")
 	a := &Candidate{
 		L: variation.Const(5),
 		T: variation.NewForm(-10, []variation.Term{{ID: src, Coef: 2}}),
@@ -136,7 +137,7 @@ func TestMergeStatisticalCorrelation(t *testing.T) {
 		L: variation.Const(5),
 		T: variation.NewForm(-12, []variation.Term{{ID: src, Coef: 2}}),
 	}
-	m := e.mergeCand(0, a, b)
+	m := w.mergeCand(0, a, b)
 	if m.T.Nominal != -12 {
 		t.Errorf("correlated min mean = %g, want -12 exactly", m.T.Nominal)
 	}
@@ -146,13 +147,13 @@ func TestMergeStatisticalCorrelation(t *testing.T) {
 	// Independent inputs do get the Clark penalty (mean below both).
 	c := &Candidate{
 		L: variation.Const(5),
-		T: variation.NewForm(-10, []variation.Term{{ID: e.space.Add(variation.ClassRandom, 1, "x"), Coef: 2}}),
+		T: variation.NewForm(-10, []variation.Term{{ID: w.eng.space.Add(variation.ClassRandom, 1, "x"), Coef: 2}}),
 	}
 	d := &Candidate{
 		L: variation.Const(5),
-		T: variation.NewForm(-10, []variation.Term{{ID: e.space.Add(variation.ClassRandom, 1, "y"), Coef: 2}}),
+		T: variation.NewForm(-10, []variation.Term{{ID: w.eng.space.Add(variation.ClassRandom, 1, "y"), Coef: 2}}),
 	}
-	m2 := e.mergeCand(0, c, d)
+	m2 := w.mergeCand(0, c, d)
 	if !(m2.T.Nominal < -10) {
 		t.Errorf("independent equal-mean min = %g, want below -10", m2.T.Nominal)
 	}
@@ -163,22 +164,22 @@ func TestMergeStatisticalCorrelation(t *testing.T) {
 func TestMergePreservesBestUpperBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	for trial := 0; trial < 100; trial++ {
-		e := testEngine(Rule2P)
+		w := testWorker(Rule2P)
 		mk := func(n int) []*Candidate {
 			list := make([]*Candidate, n)
 			for i := range list {
 				list[i] = mkCand(rng.Float64()*40, -rng.Float64()*60)
 			}
-			return e.prn.prune(list)
+			return w.prn.prune(list)
 		}
 		a := mk(1 + rng.Intn(10))
 		b := mk(1 + rng.Intn(10))
 		best := min(a[len(a)-1].T.Nominal, b[len(b)-1].T.Nominal)
-		out, err := e.mergeLinear(0, a, b)
+		out, err := w.mergeLinear(0, a, b)
 		if err != nil {
 			t.Fatal(err)
 		}
-		out = e.prn.prune(out)
+		out = w.prn.prune(out)
 		got := make([]float64, len(out))
 		for i, c := range out {
 			got[i] = c.T.Nominal

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"vabuf/internal/device"
@@ -89,6 +91,16 @@ type Options struct {
 	// Timeout aborts the run with ErrTimeout when exceeded — the
 	// "tolerable time limit" outcome of Table 2. Zero means no limit.
 	Timeout time.Duration
+	// Parallelism bounds the number of DP workers that process independent
+	// subtrees concurrently. 0 selects GOMAXPROCS; 1 forces the serial
+	// engine. The result is bit-identical for every value — the fan-out
+	// happens at multi-child Steiner nodes and the merge order is fixed.
+	Parallelism int
+	// Context, when non-nil, cancels the run early: the engine checks it
+	// at every node and inside the quadratic 4P prune, aborting with
+	// ErrCanceled. Servers wire the per-request context here so abandoned
+	// requests stop burning a worker.
+	Context context.Context
 }
 
 // Sentinel errors for capacity-limited runs (Table 2's "-" entries).
@@ -98,6 +110,8 @@ var (
 	ErrCapacity = errors.New("core: candidate capacity exceeded")
 	// ErrTimeout reports that the run exceeded Options.Timeout.
 	ErrTimeout = errors.New("core: time limit exceeded")
+	// ErrCanceled reports that Options.Context was canceled mid-run.
+	ErrCanceled = errors.New("core: run canceled")
 )
 
 func (o *Options) withDefaults() (Options, error) {
@@ -129,6 +143,12 @@ func (o *Options) withDefaults() (Options, error) {
 	if opts.MaxCandidates < 0 {
 		return opts, fmt.Errorf("core: negative MaxCandidates %d", opts.MaxCandidates)
 	}
+	if opts.Parallelism < 0 {
+		return opts, fmt.Errorf("core: negative Parallelism %d", opts.Parallelism)
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	for i, wc := range opts.WireLibrary {
 		if wc.Params.R <= 0 || wc.Params.C <= 0 {
 			return opts, fmt.Errorf("core: wire choice %d (%q) has non-positive parasitics %+v",
@@ -151,6 +171,15 @@ type Stats struct {
 	Nodes int
 	// Elapsed is the wall-clock runtime of the DP.
 	Elapsed time.Duration
+	// Workers is the number of DP goroutines that participated (1 for a
+	// serial run).
+	Workers int
+	// ArenaCandidates counts slab-allocated Candidate structs;
+	// ArenaTerms and ArenaBytes describe the pooled Term arenas backing
+	// the canonical forms (see internal/variation.Arena).
+	ArenaCandidates int64
+	ArenaTerms      int64
+	ArenaBytes      int64
 }
 
 // Result is the outcome of a successful insertion.

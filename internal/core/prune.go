@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -26,6 +27,10 @@ type pruner struct {
 	// deadline. timedOut is latched when the deadline fires mid-prune.
 	deadline time.Time
 	timedOut bool
+	// ctx, when non-nil, cancels the 4P prune at the same stride as the
+	// deadline check; canceled is latched like timedOut.
+	ctx      context.Context
+	canceled bool
 	// stats sink
 	stats *Stats
 }
@@ -196,9 +201,15 @@ func (p *pruner) prune4P(list []*Candidate) []*Candidate {
 		if dead[i] {
 			continue
 		}
-		if !p.deadline.IsZero() && i%64 == 0 && time.Now().After(p.deadline) {
-			p.timedOut = true
-			break
+		if i%64 == 0 {
+			if !p.deadline.IsZero() && time.Now().After(p.deadline) {
+				p.timedOut = true
+				break
+			}
+			if p.ctx != nil && p.ctx.Err() != nil {
+				p.canceled = true
+				break
+			}
 		}
 		for j := range list {
 			if i == j || dead[j] {

@@ -104,7 +104,7 @@ func WireSizingAblation(cfg Config) ([]WireSizingRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		fixed, err := insertWID(tr, wid, cfg.YieldQuantile)
+		fixed, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -118,6 +118,7 @@ func WireSizingAblation(cfg Config) ([]WireSizingRow, error) {
 			Model:          wid2,
 			WireLibrary:    wlib,
 			SelectQuantile: cfg.YieldQuantile,
+			Parallelism:    cfg.Parallelism,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: wire sizing on %s: %w", name, err)
@@ -257,7 +258,7 @@ func InverterAblation(cfg Config) ([]InverterRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		bufRes, err := insertWID(tr, wid, cfg.YieldQuantile)
+		bufRes, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -273,6 +274,7 @@ func InverterAblation(cfg Config) ([]InverterRow, error) {
 			Library:        combined,
 			Model:          wid2,
 			SelectQuantile: cfg.YieldQuantile,
+			Parallelism:    cfg.Parallelism,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: inverter run on %s: %w", name, err)
@@ -344,7 +346,7 @@ func CornerAblation(cfg Config) ([]CornerRow, error) {
 			return nil, err
 		}
 		// Corner flow: deterministic insertion believing the SS values.
-		cornerRes, err := core.Insert(tr, core.Options{Library: ssLib})
+		cornerRes, err := core.Insert(tr, core.Options{Library: ssLib, Parallelism: cfg.Parallelism})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: SS corner on %s: %w", name, err)
 		}
@@ -353,7 +355,7 @@ func CornerAblation(cfg Config) ([]CornerRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		widRes, err := insertWID(tr, wid, cfg.YieldQuantile)
+		widRes, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}

@@ -51,6 +51,10 @@ type Config struct {
 	HTreeLevels int
 	// Seed namespaces every randomized piece of the harness.
 	Seed int64
+	// Parallelism is forwarded to core.Options.Parallelism for every
+	// insertion run: 0 selects GOMAXPROCS, 1 forces the serial engine.
+	// Results are identical either way; only wall-clock times change.
+	Parallelism int
 }
 
 // DefaultConfig returns the configuration used for EXPERIMENTS.md.
@@ -145,10 +149,11 @@ func buildModels(tree *rctree.Tree, budget float64, hetero bool) (wid, d2d *vari
 }
 
 // insertWID runs the variation-aware 2P insertion under the WID model.
-func insertWID(tree *rctree.Tree, model *variation.Model, q float64) (*core.Result, error) {
+func insertWID(tree *rctree.Tree, model *variation.Model, q float64, par int) (*core.Result, error) {
 	return core.Insert(tree, core.Options{
 		Library:        library(),
 		Model:          model,
 		SelectQuantile: q,
+		Parallelism:    par,
 	})
 }

@@ -45,6 +45,7 @@ func PbarSweep(cfg Config, bench string) ([]PbarRow, error) {
 			PbarL:          pbar,
 			PbarT:          pbar,
 			SelectQuantile: cfg.YieldQuantile,
+			Parallelism:    cfg.Parallelism,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: pbar %.2f on %s: %w", pbar, bench, err)
@@ -98,7 +99,7 @@ func CapacityHTree(cfg Config) (*CapacityResult, error) {
 		return nil, err
 	}
 	t0 := time.Now()
-	res, err := insertWID(tr, wid, cfg.YieldQuantile)
+	res, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -143,7 +143,7 @@ func Figure5(cfg Config) (*Figure5Result, error) {
 			return nil, err
 		}
 		t0 := time.Now()
-		if _, err := insertWID(tr, wid, cfg.YieldQuantile); err != nil {
+		if _, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism); err != nil {
 			return nil, fmt.Errorf("experiments: figure 5 on %s: %w", name, err)
 		}
 		el := time.Since(t0)
@@ -207,11 +207,11 @@ func Figure6(cfg Config) (*Figure6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := insertWID(tr, wid, cfg.YieldQuantile)
+	res, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	samples, err := yield.MonteCarlo(tr, library(), res.Assignment, wid, cfg.MCSamples, cfg.Seed)
+	samples, err := yield.MonteCarloParallel(tr, library(), res.Assignment, nil, wid, cfg.MCSamples, cfg.Seed, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}

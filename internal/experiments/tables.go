@@ -109,6 +109,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 			MaxCandidates:  cfg.FourPMaxCandidates,
 			Timeout:        cfg.FourPTimeout,
 			SelectQuantile: cfg.YieldQuantile,
+			Parallelism:    cfg.Parallelism,
 		})
 		switch {
 		case err == nil:
@@ -131,6 +132,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 			Library:        lib,
 			Model:          wid2,
 			SelectQuantile: cfg.YieldQuantile,
+			Parallelism:    cfg.Parallelism,
 		}); err != nil {
 			return nil, fmt.Errorf("experiments: 2P on %s: %w", e.name, err)
 		}
@@ -219,15 +221,15 @@ func YieldComparison(cfg Config, hetero bool) ([]YieldRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		resNOM, err := core.Insert(tr, core.Options{Library: lib})
+		resNOM, err := core.Insert(tr, core.Options{Library: lib, Parallelism: cfg.Parallelism})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: NOM on %s: %w", name, err)
 		}
-		resD2D, err := core.Insert(tr, core.Options{Library: lib, Model: d2d, SelectQuantile: cfg.YieldQuantile})
+		resD2D, err := core.Insert(tr, core.Options{Library: lib, Model: d2d, SelectQuantile: cfg.YieldQuantile, Parallelism: cfg.Parallelism})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: D2D on %s: %w", name, err)
 		}
-		resWID, err := insertWID(tr, wid, cfg.YieldQuantile)
+		resWID, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: WID on %s: %w", name, err)
 		}

@@ -41,6 +41,11 @@ type InsertRequest struct {
 	// milliseconds (0 = the server default); exceeding it fails the
 	// request with 504.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Parallelism bounds the DP worker goroutines of this run (0 =
+	// GOMAXPROCS, 1 = serial). Results are identical for every value. The
+	// yield endpoint also fans its Monte-Carlo validation out across this
+	// many workers when > 1 (sharded deterministic streams).
+	Parallelism int `json:"parallelism,omitempty"`
 	// WireSizing enables simultaneous wire sizing with the default
 	// three-width routing library.
 	WireSizing bool `json:"wire_sizing,omitempty"`
@@ -70,6 +75,13 @@ type StatsDTO struct {
 	Merges    int64   `json:"merges"`
 	Nodes     int     `json:"nodes"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Workers is the number of DP goroutines that participated;
+	// ArenaCandidates/ArenaTerms/ArenaBytes describe the run's slab
+	// allocations (see core.Stats).
+	Workers         int   `json:"workers"`
+	ArenaCandidates int64 `json:"arena_candidates"`
+	ArenaTerms      int64 `json:"arena_terms"`
+	ArenaBytes      int64 `json:"arena_bytes"`
 }
 
 // AssignmentEntry is one inserted buffer in an InsertResult.
@@ -193,6 +205,9 @@ func (r *InsertRequest) normalize() error {
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be >= 0, got %d", r.TimeoutMS)
 	}
+	if r.Parallelism < 0 {
+		return fmt.Errorf("parallelism must be >= 0, got %d", r.Parallelism)
+	}
 	return nil
 }
 
@@ -224,12 +239,16 @@ func NewInsertResult(tree *vabuf.Tree, lib vabuf.Library, algo string,
 		NumBuffers:      res.NumBuffers,
 		RootCandidates:  res.RootCandidates,
 		Stats: StatsDTO{
-			Generated: res.Stats.Generated,
-			Pruned:    res.Stats.Pruned,
-			PeakList:  res.Stats.PeakList,
-			Merges:    res.Stats.Merges,
-			Nodes:     res.Stats.Nodes,
-			ElapsedMS: float64(res.Stats.Elapsed) / float64(time.Millisecond),
+			Generated:       res.Stats.Generated,
+			Pruned:          res.Stats.Pruned,
+			PeakList:        res.Stats.PeakList,
+			Merges:          res.Stats.Merges,
+			Nodes:           res.Stats.Nodes,
+			ElapsedMS:       float64(res.Stats.Elapsed) / float64(time.Millisecond),
+			Workers:         res.Stats.Workers,
+			ArenaCandidates: res.Stats.ArenaCandidates,
+			ArenaTerms:      res.Stats.ArenaTerms,
+			ArenaBytes:      res.Stats.ArenaBytes,
 		},
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
 	}

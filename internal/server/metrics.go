@@ -53,6 +53,11 @@ type pruneTotals struct {
 	merges    int64
 	nodes     int64
 	peakList  int
+	// Worker/arena totals of the parallel allocation-lean engine.
+	workers         int64
+	arenaCandidates int64
+	arenaTerms      int64
+	arenaBytes      int64
 }
 
 // metrics is the expvar-style registry behind GET /metrics.
@@ -104,6 +109,10 @@ func (m *metrics) recordRun(algo, rule string, elapsed time.Duration, res *vabuf
 	if res.Stats.PeakList > m.prune.peakList {
 		m.prune.peakList = res.Stats.PeakList
 	}
+	m.prune.workers += int64(res.Stats.Workers)
+	m.prune.arenaCandidates += res.Stats.ArenaCandidates
+	m.prune.arenaTerms += res.Stats.ArenaTerms
+	m.prune.arenaBytes += res.Stats.ArenaBytes
 }
 
 func cacheSnapshot(c *lruCache, capacity int) map[string]any {
@@ -138,12 +147,16 @@ func (m *metrics) snapshot(pool *workerPool, trees, models *lruCache,
 		latency[key] = h.snapshot()
 	}
 	prune := map[string]any{
-		"runs":      m.prune.runs,
-		"generated": m.prune.generated,
-		"pruned":    m.prune.pruned,
-		"merges":    m.prune.merges,
-		"nodes":     m.prune.nodes,
-		"peak_list": m.prune.peakList,
+		"runs":             m.prune.runs,
+		"generated":        m.prune.generated,
+		"pruned":           m.prune.pruned,
+		"merges":           m.prune.merges,
+		"nodes":            m.prune.nodes,
+		"peak_list":        m.prune.peakList,
+		"workers":          m.prune.workers,
+		"arena_candidates": m.prune.arenaCandidates,
+		"arena_terms":      m.prune.arenaTerms,
+		"arena_bytes":      m.prune.arenaBytes,
 	}
 	m.mu.Unlock()
 

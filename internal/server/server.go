@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -40,6 +41,10 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxRequestBytes bounds request bodies; <=0 selects 8 MiB.
 	MaxRequestBytes int64
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiling endpoints expose internals and cost CPU, so
+	// they are opt-in via the vabufd -pprof flag.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +94,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/benchmarks", s.instrument("/v1/benchmarks", s.benchmarks))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.healthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.metricsHandler))
+	if cfg.EnablePprof {
+		// The server owns its mux, so the pprof handlers are mounted
+		// explicitly instead of through net/http/pprof's init side effect.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -165,6 +179,7 @@ func (s *Server) prepare(req *InsertRequest) (*preparedRun, error) {
 		SelectQuantile: req.Quantile,
 		MaxCandidates:  req.MaxCandidates,
 		Timeout:        s.cfg.DefaultTimeout,
+		Parallelism:    req.Parallelism,
 	}
 	if req.TimeoutMS > 0 {
 		opts.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -274,6 +289,8 @@ func statusForRunError(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, vabuf.ErrCapacity):
 		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, vabuf.ErrCanceled):
+		return statusClientClosed
 	default:
 		return http.StatusBadRequest
 	}
@@ -289,6 +306,9 @@ func (s *Server) runInsert(ctx context.Context, req *InsertRequest,
 	)
 	status, err := s.execute(ctx, func() {
 		opts := p.opts
+		// Abandoned requests cancel the DP instead of burning the worker
+		// until the run finishes on its own.
+		opts.Context = ctx
 		if p.entry != nil {
 			// Serialize runs sharing one cached model: it allocates
 			// per-site sources lazily (see modelEntry).
@@ -363,6 +383,7 @@ func (s *Server) yield(r *http.Request) (int, any) {
 	)
 	status, err := s.execute(r.Context(), func() {
 		opts := p.opts
+		opts.Context = r.Context()
 		var model *vabuf.VariationModel
 		if p.entry != nil {
 			p.entry.mu.Lock()
@@ -381,8 +402,16 @@ func (s *Server) yield(r *http.Request) (int, any) {
 			return
 		}
 		var samples []float64
-		samples, yieldErr = vabuf.MonteCarloRAT(p.tree, p.lib, res.Assignment,
-			model, req.MonteCarlo, req.Seed)
+		if req.Parallelism > 1 {
+			// The sharded sampler's stream depends only on (n, seed) but
+			// differs from the serial one, so it is opt-in: existing
+			// clients keep their recorded quantiles.
+			samples, yieldErr = vabuf.MonteCarloRATParallel(p.tree, p.lib, res.Assignment,
+				model, req.MonteCarlo, req.Seed, req.Parallelism)
+		} else {
+			samples, yieldErr = vabuf.MonteCarloRAT(p.tree, p.lib, res.Assignment,
+				model, req.MonteCarlo, req.Seed)
+		}
 		if yieldErr != nil {
 			return
 		}

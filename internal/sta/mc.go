@@ -3,6 +3,7 @@ package sta
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"vabuf/internal/variation"
 )
@@ -29,11 +30,20 @@ func MonteCarlo(g *Graph, inputs map[PinID]variation.Form, space *variation.Spac
 	for i, id := range outs {
 		outIdx[id] = i
 	}
+	sampleRange(g, inputs, space, order, outs, outIdx, res, 0, n, seed)
+	return res, nil
+}
+
+// sampleRange evaluates samples [from, from+count) of the result matrix
+// with an RNG stream seeded by seed. All inputs are read-only; distinct
+// ranges may be filled concurrently.
+func sampleRange(g *Graph, inputs map[PinID]variation.Form, space *variation.Space,
+	order, outs []PinID, outIdx map[PinID]int, res [][]float64, from, count int, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	arr := make([]float64, g.NumPins())
 	seen := make([]bool, g.NumPins())
 	var buf []float64
-	for s := 0; s < n; s++ {
+	for s := from; s < from+count; s++ {
 		buf = space.Sample(rng, buf)
 		for i := range seen {
 			seen[i] = false
@@ -57,6 +67,70 @@ func MonteCarlo(g *Graph, inputs map[PinID]variation.Form, space *variation.Spac
 		for _, id := range outs {
 			res[outIdx[id]][s] = arr[id]
 		}
+	}
+}
+
+// MonteCarloParallel is MonteCarlo fanned out over worker goroutines.
+// Sampling is sharded deterministically — shard i draws its samples from
+// seed+i — so the result is identical for any worker count, including 1,
+// but is NOT the same stream as MonteCarlo(seed). workers <= 0 selects
+// GOMAXPROCS.
+func MonteCarloParallel(g *Graph, inputs map[PinID]variation.Form, space *variation.Space,
+	n int, seed int64, workers int) ([][]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sta: sample count %d must be positive", n)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	outs := g.Outputs()
+	res := make([][]float64, len(outs))
+	for i := range res {
+		res[i] = make([]float64, n)
+	}
+	outIdx := make(map[PinID]int, len(outs))
+	for i, id := range outs {
+		outIdx[id] = i
+	}
+	// Fixed shard layout independent of the worker count, so the result
+	// depends only on (n, seed).
+	const shards = 16
+	type shard struct {
+		from, count int
+		seed        int64
+	}
+	per := n / shards
+	rem := n % shards
+	plan := make([]shard, 0, shards)
+	from := 0
+	for i := 0; i < shards; i++ {
+		count := per
+		if i < rem {
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		plan = append(plan, shard{from: from, count: count, seed: seed + int64(i)})
+		from += count
+	}
+	sem := make(chan struct{}, workers)
+	done := make(chan struct{}, len(plan))
+	for _, sh := range plan {
+		sh := sh
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			sampleRange(g, inputs, space, order, outs, outIdx, res, sh.from, sh.count, sh.seed)
+			done <- struct{}{}
+		}()
+	}
+	for range plan {
+		<-done
 	}
 	return res, nil
 }

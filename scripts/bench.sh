@@ -1,0 +1,80 @@
+#!/usr/bin/env sh
+# scripts/bench.sh — run the DP-engine micro-benchmarks and snapshot the
+# results into BENCH_core.json so the perf trajectory is tracked in-repo.
+#
+# Usage:
+#   scripts/bench.sh [-count N] [-benchtime T] [-out FILE]
+#
+# Defaults: -count 1, -benchtime 2x, -out BENCH_core.json (repo root).
+# The snapshot records ns/op, B/op and allocs/op for:
+#   * canonical-form kernels   (internal/variation: AXPY[In], Min[In])
+#   * pruning rules            (internal/core: Prune2P/4P at 256/1024)
+#   * end-to-end insertion     (internal/core + root: NOM/WID presets,
+#                               Serial vs Par4 pairs for the speedup ratio)
+set -eu
+
+COUNT=1
+BENCHTIME=2x
+OUT=BENCH_core.json
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -count) COUNT=$2; shift 2 ;;
+    -benchtime) BENCHTIME=$2; shift 2 ;;
+    -out) OUT=$2; shift 2 ;;
+    *) echo "usage: $0 [-count N] [-benchtime T] [-out FILE]" >&2; exit 2 ;;
+  esac
+done
+
+cd "$(dirname "$0")/.."
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+run() { # run <pkg> <bench-regex>
+  echo "== go test $1 -bench $2 (benchtime=$BENCHTIME count=$COUNT)" >&2
+  go test "$1" -run '^$' -bench "$2" -benchtime "$BENCHTIME" -count "$COUNT" \
+    | tee /dev/stderr | grep '^Benchmark' >>"$RAW" || true
+}
+
+run ./internal/variation/ 'AXPY|Min'
+run ./internal/core/ 'Prune|Insert'
+run . 'InsertWIDr[35](Serial|Par4)$'
+
+# Fold the `go test -bench` lines into a JSON array. Each line looks like:
+#   BenchmarkName-8   12   3456 ns/op   789 B/op   10 allocs/op
+{
+  printf '{\n'
+  printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "go": "%s",\n' "$(go env GOVERSION)"
+  printf '  "cpus_online": %s,\n' "$(getconf _NPROCESSORS_ONLN)"
+  printf '  "benchtime": "%s",\n' "$BENCHTIME"
+  printf '  "count": %s,\n' "$COUNT"
+  if [ -f scripts/bench_baseline.json ]; then
+    # Frozen pre-arena/pre-parallel measurements, kept alongside every
+    # snapshot so speedup and allocs/op deltas are readable in one file.
+    printf '  "baseline":\n'
+    sed 's/^/  /' scripts/bench_baseline.json | sed '$s/$/,/'
+  fi
+  printf '  "results": [\n'
+  awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      ns = ""; bytes = ""; allocs = ""
+      for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op") ns = $(i-1)
+        if ($(i) == "B/op") bytes = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+      }
+      line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
+      if (ns != "") line = line sprintf(", \"ns_per_op\": %s", ns)
+      if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+      if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+      line = line "}"
+      lines[n++] = line
+    }
+    END { for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") }
+  ' "$RAW"
+  printf '  ]\n'
+  printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") results)" >&2

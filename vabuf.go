@@ -133,6 +133,8 @@ var (
 	ErrCapacity = core.ErrCapacity
 	// ErrTimeout reports that a run exceeded Options.Timeout.
 	ErrTimeout = core.ErrTimeout
+	// ErrCanceled reports that Options.Context was canceled mid-run.
+	ErrCanceled = core.ErrCanceled
 )
 
 // Insert runs dynamic-programming buffer insertion on the tree: the
@@ -280,6 +282,14 @@ func AnalyzeTiming(g *TimingGraph, inputs, required map[TimingPin]Form,
 func MonteCarloTiming(g *TimingGraph, inputs map[TimingPin]Form,
 	space *VariationSpace, n int, seed int64) ([][]float64, error) {
 	return sta.MonteCarlo(g, inputs, space, n, seed)
+}
+
+// MonteCarloTimingParallel is MonteCarloTiming sharded across workers with
+// deterministic per-shard RNG streams: the result depends only on
+// (n, seed), never on the worker count. workers <= 0 selects GOMAXPROCS.
+func MonteCarloTimingParallel(g *TimingGraph, inputs map[TimingPin]Form,
+	space *VariationSpace, n int, seed int64, workers int) ([][]float64, error) {
+	return sta.MonteCarloParallel(g, inputs, space, n, seed, workers)
 }
 
 // ReadTree parses a tree from the rctree text format.
