@@ -8,6 +8,13 @@
 //	bufins -bench r3 -algo wid
 //	bufins -tree net.tree -algo nom -print-assignment
 //	bufins -bench r1 -json    # machine-readable, the vabufd /v1/insert DTO
+//	bufins -batch reqs.json -server http://localhost:8577
+//	                          # POST a JSON array of requests as one batch
+//
+// Batch mode reads a JSON array of /v1/insert request objects (or "-"
+// for stdin), posts them to the server's /v1/insert:batch endpoint as
+// one aggregate call, and prints the aggregate response. The items run
+// under the sweep priority class, yielding to interactive requests.
 //
 // Algorithms: nom (deterministic van Ginneken), d2d (random + inter-die
 // variation), wid (all variation classes, the paper's algorithm). The
@@ -16,9 +23,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -94,6 +104,8 @@ func run() error {
 		wireSize  = flag.Bool("wire-sizing", false, "enable simultaneous wire sizing")
 		critN     = flag.Int("criticality", 0, "print the N most critical sinks")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON (the vabufd /v1/insert DTO)")
+		batchFile = flag.String("batch", "", `JSON array of insert requests to POST as one batch ("-" = stdin)`)
+		serverURL = flag.String("server", "http://localhost:8577", "vabufd base URL for -batch mode")
 		parallel  = flag.Int("parallel", 0, "DP worker goroutines (0 = GOMAXPROCS, 1 = serial; results identical)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -109,6 +121,13 @@ func run() error {
 			fmt.Fprintln(os.Stderr, "bufins: profile:", err)
 		}
 	}()
+
+	if *batchFile != "" {
+		if *bench != "" || *treeFile != "" {
+			return fmt.Errorf("-batch is exclusive with -bench/-tree: the batch file carries the trees")
+		}
+		return runBatch(*batchFile, *serverURL)
+	}
 
 	if err := server.CheckUnitInterval("-pbar", *pbar); err != nil {
 		return err
@@ -242,6 +261,53 @@ func run() error {
 			fmt.Printf("  sink %-6d at %s  criticality %.1f%%\n", es[i].id, n.Loc, 100*es[i].p)
 		}
 	}
+	return nil
+}
+
+// runBatch reads a JSON array of insert requests and posts them to the
+// server as one /v1/insert:batch call, printing the aggregate response.
+// A non-200 aggregate status or any failed item is reported on stderr;
+// per-item errors do not abort the batch (exit is non-zero only when
+// the call itself failed).
+func runBatch(file, baseURL string) error {
+	var raw []byte
+	var err error
+	if file == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(file)
+	}
+	if err != nil {
+		return err
+	}
+	var items []server.InsertRequest
+	if err := json.Unmarshal(raw, &items); err != nil {
+		return fmt.Errorf("parsing %s (want a JSON array of insert requests): %w", file, err)
+	}
+	payload, err := json.Marshal(server.BatchInsertRequest{Items: items})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(strings.TrimRight(baseURL, "/")+"/v1/insert:batch",
+		"application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("batch request answered %s", resp.Status)
+	}
+	var out server.BatchInsertResult
+	if err := json.Unmarshal(body, &out); err != nil {
+		return fmt.Errorf("parsing batch response: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "bufins: batch of %d: %d succeeded, %d failed\n",
+		len(out.Items), out.Succeeded, out.Errors)
 	return nil
 }
 

@@ -5,11 +5,18 @@
 //
 // Endpoints:
 //
-//	POST /v1/insert     run buffer insertion (see internal/server.InsertRequest)
-//	POST /v1/yield      insertion + yield analysis, optional Monte Carlo
-//	GET  /v1/benchmarks list the built-in Table 1 benchmark names
-//	GET  /healthz       liveness probe
-//	GET  /metrics       counters, latency histograms, queue and cache stats
+//	POST /v1/insert       run buffer insertion (see internal/server.InsertRequest)
+//	POST /v1/insert:batch up to -max-batch insertions as one aggregate call
+//	POST /v1/yield        insertion + yield analysis, optional Monte Carlo
+//	POST /v1/yield:batch  batched yield runs
+//	GET  /v1/benchmarks   list the built-in Table 1 benchmark names
+//	GET  /healthz         liveness probe
+//	GET  /metrics         counters, latency histograms, per-class queue and cache stats
+//
+// The job queue has two priority classes: interactive (default) and
+// sweep (batch items and requests with "priority": "sweep"). Dispatch
+// prefers interactive work; every -sweep-every-th dispatch takes the
+// sweep queue so bulk batches cannot starve.
 //
 // Overload (full job queue) answers 429 with Retry-After; per-request
 // deadlines map ErrTimeout to 504 and candidate-capacity overruns
@@ -36,7 +43,11 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8577", "listen address")
 		workers    = flag.Int("workers", 0, "insertion workers (0 = GOMAXPROCS)")
-		queue      = flag.Int("queue", 64, "job-queue depth behind the workers")
+		queue      = flag.Int("queue", 64, "interactive job-queue depth behind the workers")
+		sweepQueue = flag.Int("sweep-queue", 256, "sweep-class (batch) job-queue depth")
+		sweepEvery = flag.Int("sweep-every", 4,
+			"class weight: every Nth dispatch prefers the sweep queue (starvation guard; 1 disables)")
+		maxBatch   = flag.Int("max-batch", 256, "max items per batch request")
 		treeCache  = flag.Int("tree-cache", 32, "parsed/generated tree LRU entries")
 		modelCache = flag.Int("model-cache", 32, "variation-model LRU entries")
 		timeout    = flag.Duration("timeout", 2*time.Minute,
@@ -49,6 +60,9 @@ func main() {
 	srv := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
+		SweepQueueDepth: *sweepQueue,
+		SweepEvery:      *sweepEvery,
+		MaxBatchItems:   *maxBatch,
 		TreeCacheSize:   *treeCache,
 		ModelCacheSize:  *modelCache,
 		DefaultTimeout:  *timeout,
@@ -67,8 +81,8 @@ func main() {
 	if nWorkers < 1 {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
-	log.Printf("vabufd listening on %s (%d workers, queue %d, tree cache %d, model cache %d)",
-		*addr, nWorkers, *queue, *treeCache, *modelCache)
+	log.Printf("vabufd listening on %s (%d workers, queue %d+%d sweep, 1-in-%d sweep dispatch, max batch %d, tree cache %d, model cache %d)",
+		*addr, nWorkers, *queue, *sweepQueue, *sweepEvery, *maxBatch, *treeCache, *modelCache)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,162 @@
+package server
+
+// Batch endpoints of vabufd: POST /v1/insert:batch and
+// POST /v1/yield:batch. A batch carries up to Config.MaxBatchItems
+// requests plus an optional shared-defaults block; the server resolves
+// trees and models through the LRU caches once per distinct key, fans
+// the items out over the worker pool under the sweep class, and answers
+// one aggregate response with per-item results or per-item errors.
+// Partial failure never fails the batch: the overall status is 200 with
+// an "errors" count, and 429 only when nothing could be enqueued.
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// batchBounds validates the item count of a batch request.
+func (s *Server) batchBounds(n int) error {
+	if n == 0 {
+		return fmt.Errorf(`"items" must contain at least one request`)
+	}
+	if n > s.cfg.MaxBatchItems {
+		return fmt.Errorf("batch of %d items exceeds the %d-item cap", n, s.cfg.MaxBatchItems)
+	}
+	return nil
+}
+
+// submitBatchItem queues fn under the sweep class, reporting false on
+// pool overload. The test hook runs at job start, exactly as on the
+// single-request path.
+func (s *Server) submitBatchItem(fn func()) bool {
+	return s.pool.trySubmit(func() {
+		if s.testHookJob != nil {
+			s.testHookJob()
+		}
+		fn()
+	}, classSweep)
+}
+
+// batchStatus maps the enqueue outcome to the aggregate HTTP status:
+// 429 only when the pool refused every item that made it past
+// validation and nothing ran at all.
+func batchStatus(enqueued, overloaded int) int {
+	if enqueued == 0 && overloaded > 0 {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusOK
+}
+
+func (s *Server) insertBatch(r *http.Request) (int, any) {
+	var breq BatchInsertRequest
+	if st, err := decodeJSON(r, s.cfg.MaxRequestBytes, &breq); err != nil {
+		return st, errBody(err)
+	}
+	if err := s.batchBounds(len(breq.Items)); err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	out := BatchInsertResult{Items: make([]BatchItemResult, len(breq.Items))}
+	var wg sync.WaitGroup
+	enqueued, overloaded := 0, 0
+	for i := range breq.Items {
+		item := &out.Items[i]
+		item.Index = i
+		req := breq.Items[i]
+		req.applyDefaults(breq.Defaults)
+		if err := req.normalize(); err != nil {
+			item.Status, item.Error = http.StatusBadRequest, err.Error()
+			continue
+		}
+		// prepare runs on the handler goroutine: the LRU caches build
+		// each distinct tree/model once, and identical later items hit.
+		p, err := s.prepare(&req)
+		if err != nil {
+			item.Status, item.Error = http.StatusBadRequest, err.Error()
+			continue
+		}
+		wg.Add(1)
+		ok := s.submitBatchItem(func() {
+			defer wg.Done()
+			res, st, err := s.runPrepared(r.Context(), &req, p)
+			if err != nil {
+				item.Status, item.Error = st, err.Error()
+				return
+			}
+			item.Status, item.Result = http.StatusOK, res
+		})
+		if !ok {
+			wg.Done()
+			overloaded++
+			item.Status, item.Error = http.StatusTooManyRequests, errOverloaded.Error()
+			continue
+		}
+		enqueued++
+	}
+	// Every job owns its distinct Items element, so waiting for the pool
+	// is the only synchronization the aggregate needs. Abandoned clients
+	// cancel the runs through r.Context(); the jobs still finish fast.
+	wg.Wait()
+	for i := range out.Items {
+		if out.Items[i].Status == http.StatusOK {
+			out.Succeeded++
+		} else {
+			out.Errors++
+		}
+	}
+	return batchStatus(enqueued, overloaded), out
+}
+
+func (s *Server) yieldBatch(r *http.Request) (int, any) {
+	var breq BatchYieldRequest
+	if st, err := decodeJSON(r, s.cfg.MaxRequestBytes, &breq); err != nil {
+		return st, errBody(err)
+	}
+	if err := s.batchBounds(len(breq.Items)); err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	out := BatchYieldResult{Items: make([]BatchYieldItemResult, len(breq.Items))}
+	var wg sync.WaitGroup
+	enqueued, overloaded := 0, 0
+	for i := range breq.Items {
+		item := &out.Items[i]
+		item.Index = i
+		req := breq.Items[i]
+		req.applyDefaults(breq.Defaults)
+		if err := req.normalize(); err != nil {
+			item.Status, item.Error = http.StatusBadRequest, err.Error()
+			continue
+		}
+		p, err := s.prepare(&req.InsertRequest)
+		if err != nil {
+			item.Status, item.Error = http.StatusBadRequest, err.Error()
+			continue
+		}
+		wg.Add(1)
+		ok := s.submitBatchItem(func() {
+			defer wg.Done()
+			res, st, err := s.runPreparedYield(r.Context(), &req, p)
+			if err != nil {
+				item.Status, item.Error = st, err.Error()
+				return
+			}
+			item.Status, item.Result = http.StatusOK, res
+		})
+		if !ok {
+			wg.Done()
+			overloaded++
+			item.Status, item.Error = http.StatusTooManyRequests, errOverloaded.Error()
+			continue
+		}
+		enqueued++
+	}
+	wg.Wait()
+	for i := range out.Items {
+		if out.Items[i].Status == http.StatusOK {
+			out.Succeeded++
+		} else {
+			out.Errors++
+		}
+	}
+	return batchStatus(enqueued, overloaded), out
+}

@@ -53,6 +53,10 @@ type InsertRequest struct {
 	Inverters bool `json:"inverters,omitempty"`
 	// IncludeAssignment adds the full buffer assignment to the response.
 	IncludeAssignment bool `json:"include_assignment,omitempty"`
+	// Priority selects the scheduling class: "interactive" (default) or
+	// "sweep". Sweep jobs yield to interactive ones in the worker-pool
+	// queue; batch items always run as sweep regardless of this field.
+	Priority string `json:"priority,omitempty"`
 }
 
 // YieldRequest is the body of POST /v1/yield: an insertion run followed
@@ -64,6 +68,55 @@ type YieldRequest struct {
 	MonteCarlo int `json:"monte_carlo,omitempty"`
 	// Seed seeds the Monte-Carlo sampler (default 1).
 	Seed int64 `json:"seed,omitempty"`
+}
+
+// BatchInsertRequest is the body of POST /v1/insert:batch: up to
+// Config.MaxBatchItems insertion requests answered as one aggregate
+// response. Defaults, when present, fills the zero-valued fields of
+// every item before validation (shared sweep parameters stated once).
+type BatchInsertRequest struct {
+	Defaults *InsertRequest  `json:"defaults,omitempty"`
+	Items    []InsertRequest `json:"items"`
+}
+
+// BatchYieldRequest is the body of POST /v1/yield:batch.
+type BatchYieldRequest struct {
+	Defaults *YieldRequest  `json:"defaults,omitempty"`
+	Items    []YieldRequest `json:"items"`
+}
+
+// BatchItemResult is the outcome of one item of a batch insert: either
+// Result (Status 200) or Error with the status the item would have
+// received as a standalone request. A failed item never fails the batch.
+type BatchItemResult struct {
+	Index  int           `json:"index"`
+	Status int           `json:"status"`
+	Result *InsertResult `json:"result,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// BatchYieldItemResult is the outcome of one item of a batch yield run.
+type BatchYieldItemResult struct {
+	Index  int          `json:"index"`
+	Status int          `json:"status"`
+	Result *YieldResult `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// BatchInsertResult is the response of POST /v1/insert:batch. The
+// overall HTTP status is 200 even with per-item errors; only a batch
+// where nothing could be enqueued (pool overload) answers 429.
+type BatchInsertResult struct {
+	Items     []BatchItemResult `json:"items"`
+	Succeeded int               `json:"succeeded"`
+	Errors    int               `json:"errors"`
+}
+
+// BatchYieldResult is the response of POST /v1/yield:batch.
+type BatchYieldResult struct {
+	Items     []BatchYieldItemResult `json:"items"`
+	Succeeded int                    `json:"succeeded"`
+	Errors    int                    `json:"errors"`
 }
 
 // StatsDTO mirrors core.Stats: the candidate-pruning counters behind the
@@ -208,7 +261,92 @@ func (r *InsertRequest) normalize() error {
 	if r.Parallelism < 0 {
 		return fmt.Errorf("parallelism must be >= 0, got %d", r.Parallelism)
 	}
+	switch r.Priority {
+	case "", "interactive", "sweep":
+	default:
+		return fmt.Errorf("unknown priority %q (want interactive or sweep)", r.Priority)
+	}
 	return nil
+}
+
+// normalize fills defaults and validates the yield request.
+func (r *YieldRequest) normalize() error {
+	if err := r.InsertRequest.normalize(); err != nil {
+		return err
+	}
+	if r.MonteCarlo < 0 || r.MonteCarlo > 1_000_000 {
+		return fmt.Errorf("monte_carlo must be in [0, 1000000], got %d", r.MonteCarlo)
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	return nil
+}
+
+// applyDefaults fills the zero-valued fields of r from d — the
+// shared-defaults block of a batch request. An item that states a field
+// always wins; booleans merge only from false, so a default can enable
+// but never disable an option per item.
+func (r *InsertRequest) applyDefaults(d *InsertRequest) {
+	if d == nil {
+		return
+	}
+	if r.Bench == "" && r.Tree == "" {
+		r.Bench, r.Tree = d.Bench, d.Tree
+	}
+	if r.Algo == "" {
+		r.Algo = d.Algo
+	}
+	if r.Rule == "" {
+		r.Rule = d.Rule
+	}
+	if r.Pbar == 0 {
+		r.Pbar = d.Pbar
+	}
+	if r.Budget == 0 {
+		r.Budget = d.Budget
+	}
+	if r.Heterogeneous == nil {
+		r.Heterogeneous = d.Heterogeneous
+	}
+	if r.Quantile == 0 {
+		r.Quantile = d.Quantile
+	}
+	if r.MaxCandidates == 0 {
+		r.MaxCandidates = d.MaxCandidates
+	}
+	if r.TimeoutMS == 0 {
+		r.TimeoutMS = d.TimeoutMS
+	}
+	if r.Parallelism == 0 {
+		r.Parallelism = d.Parallelism
+	}
+	if !r.WireSizing {
+		r.WireSizing = d.WireSizing
+	}
+	if !r.Inverters {
+		r.Inverters = d.Inverters
+	}
+	if !r.IncludeAssignment {
+		r.IncludeAssignment = d.IncludeAssignment
+	}
+	if r.Priority == "" {
+		r.Priority = d.Priority
+	}
+}
+
+// applyDefaults fills the zero-valued fields of r from d.
+func (r *YieldRequest) applyDefaults(d *YieldRequest) {
+	if d == nil {
+		return
+	}
+	r.InsertRequest.applyDefaults(&d.InsertRequest)
+	if r.MonteCarlo == 0 {
+		r.MonteCarlo = d.MonteCarlo
+	}
+	if r.Seed == 0 {
+		r.Seed = d.Seed
+	}
 }
 
 // heterogeneous reports the effective Heterogeneous setting (default true).

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -86,7 +87,7 @@ func (m *metrics) recordRequest(endpoint string, status int) {
 		byStatus = make(map[string]int64)
 		m.requests[endpoint] = byStatus
 	}
-	byStatus[fmt.Sprintf("%d", status)]++
+	byStatus[strconv.Itoa(status)]++
 }
 
 // recordRun records one successful insertion run: its latency under the
@@ -164,11 +165,16 @@ func (m *metrics) snapshot(pool *workerPool, trees, models *lruCache,
 		"uptime_seconds": time.Since(m.start).Seconds(),
 		"requests":       requests,
 		"latency_ms":     latency,
+		// depth/capacity/rejected keep their pre-priority-queue meaning
+		// (existing dashboards); "classes" splits them per class with
+		// queue-wait latency histograms.
 		"queue": map[string]any{
-			"depth":    pool.depth(),
-			"capacity": pool.capacity(),
-			"workers":  pool.workers,
-			"rejected": pool.rejected.Load(),
+			"depth":       pool.depth(),
+			"capacity":    pool.capacity(),
+			"workers":     pool.workers,
+			"rejected":    pool.rejectedTotal(),
+			"sweep_every": pool.sweepEvery,
+			"classes":     pool.classSnapshot(),
 		},
 		"caches": map[string]any{
 			"tree":  cacheSnapshot(trees, treeCap),

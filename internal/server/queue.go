@@ -3,70 +3,235 @@ package server
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
+	"time"
 )
 
+// jobClass is the scheduling class of a queued job. Interactive requests
+// (the default) are dispatched ahead of sweep work; sweep is the class
+// of batch items and of any request that sets "priority": "sweep".
+type jobClass int
+
+const (
+	classInteractive jobClass = iota
+	classSweep
+	numClasses
+)
+
+var classNames = [numClasses]string{"interactive", "sweep"}
+
+// className maps a request priority string to its class. normalize has
+// already validated the string, so anything but "sweep" is interactive.
+func classFor(priority string) jobClass {
+	if priority == "sweep" {
+		return classSweep
+	}
+	return classInteractive
+}
+
+// queuedJob is one waiting pool job with its admission timestamp, so
+// dispatch can record per-class queue-wait latency.
+type queuedJob struct {
+	fn       func()
+	class    jobClass
+	enqueued time.Time
+}
+
+// classState is the per-class half of the priority queue: a FIFO of
+// waiting jobs plus its counters. Everything is guarded by workerPool.mu,
+// including inFlight — a dequeue moves a job from the FIFO into inFlight
+// under one critical section, so depth (queued + in-flight) can never
+// transiently read low between the two.
+type classState struct {
+	queued     []queuedJob
+	capacity   int
+	inFlight   int
+	rejected   int64
+	dispatched int64
+	wait       *histogram // queue-wait latency, ms
+}
+
 // workerPool runs insertion jobs on a fixed set of goroutines fed by a
-// bounded queue. When the queue is full, trySubmit refuses immediately —
+// two-class priority queue. Dispatch prefers the interactive class;
+// every sweepEvery-th dispatch prefers sweep instead, so bulk batches
+// make progress even under sustained interactive load (starvation
+// guard). When a class's queue is full, trySubmit refuses immediately —
 // the server answers 429 with Retry-After instead of queuing unboundedly
 // and melting under load.
 type workerPool struct {
-	jobs    chan func()
-	wg      sync.WaitGroup
-	workers int
+	mu         sync.Mutex
+	cond       *sync.Cond
+	classes    [numClasses]classState
+	closed     bool
+	dispatches int64
 
-	inFlight atomic.Int64
-	rejected atomic.Int64
+	wg         sync.WaitGroup
+	workers    int
+	sweepEvery int
 }
 
 // newWorkerPool starts workers goroutines (<1 selects GOMAXPROCS) behind
-// a queue of depth waiting slots.
-func newWorkerPool(workers, depth int) *workerPool {
+// an interactive queue of depth waiting slots and a sweep queue of
+// sweepDepth slots. Every sweepEvery-th dispatch prefers the sweep
+// class (<=1 disables the preference and sweep runs only when the
+// interactive queue is empty).
+func newWorkerPool(workers, depth, sweepDepth, sweepEvery int) *workerPool {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if depth < 0 {
 		depth = 0
 	}
+	if sweepDepth < 0 {
+		sweepDepth = 0
+	}
 	p := &workerPool{
-		jobs:    make(chan func(), depth),
-		workers: workers,
+		workers:    workers,
+		sweepEvery: sweepEvery,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.classes[classInteractive].capacity = depth
+	p.classes[classSweep].capacity = sweepDepth
+	for c := range p.classes {
+		p.classes[c].wait = &histogram{buckets: make([]int64, len(latencyBucketsMS)+1)}
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go func() {
-			defer p.wg.Done()
-			for job := range p.jobs {
-				p.inFlight.Add(1)
-				job()
-				p.inFlight.Add(-1)
-			}
-		}()
+		go p.run()
 	}
 	return p
 }
 
-// trySubmit enqueues job, reporting false when the queue is full.
-// Must not be called after close.
-func (p *workerPool) trySubmit(job func()) bool {
-	select {
-	case p.jobs <- job:
-		return true
-	default:
-		p.rejected.Add(1)
+func (p *workerPool) run() {
+	defer p.wg.Done()
+	for {
+		job, ok := p.next()
+		if !ok {
+			return
+		}
+		job.fn()
+		p.finish(job.class)
+	}
+}
+
+// next blocks until a job is available and dequeues it, or reports false
+// when the pool is closed and drained. The dequeue and the in-flight
+// increment happen under one lock, so depth() is always exact.
+func (p *workerPool) next() (queuedJob, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if n := len(p.classes[classInteractive].queued) + len(p.classes[classSweep].queued); n == 0 {
+			if p.closed {
+				return queuedJob{}, false
+			}
+			p.cond.Wait()
+			continue
+		}
+		p.dispatches++
+		class := classInteractive
+		if p.sweepEvery > 1 && p.dispatches%int64(p.sweepEvery) == 0 {
+			class = classSweep
+		}
+		if len(p.classes[class].queued) == 0 {
+			class = numClasses - 1 - class
+		}
+		st := &p.classes[class]
+		job := st.queued[0]
+		st.queued[0] = queuedJob{} // release the closure for GC
+		st.queued = st.queued[1:]
+		st.inFlight++
+		st.dispatched++
+		st.wait.observe(float64(time.Since(job.enqueued)) / float64(time.Millisecond))
+		return job, true
+	}
+}
+
+func (p *workerPool) finish(class jobClass) {
+	p.mu.Lock()
+	p.classes[class].inFlight--
+	p.mu.Unlock()
+}
+
+// trySubmit enqueues job under the given class, reporting false when
+// that class's queue is full. Must not be called after close.
+func (p *workerPool) trySubmit(job func(), class jobClass) bool {
+	p.mu.Lock()
+	st := &p.classes[class]
+	if len(st.queued) >= st.capacity {
+		st.rejected++
+		p.mu.Unlock()
 		return false
 	}
+	st.queued = append(st.queued, queuedJob{fn: job, class: class, enqueued: time.Now()})
+	p.mu.Unlock()
+	p.cond.Signal()
+	return true
 }
 
 // close stops accepting work and blocks until every queued and in-flight
 // job has finished (the drain step of graceful shutdown).
 func (p *workerPool) close() {
-	close(p.jobs)
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
 	p.wg.Wait()
 }
 
-// depth is the number of queued plus in-flight jobs.
-func (p *workerPool) depth() int { return len(p.jobs) + int(p.inFlight.Load()) }
+// depth is the number of queued plus in-flight jobs across both classes.
+// Dequeues move jobs between the two counts under the pool lock, so the
+// gauge is exact — it can never transiently read low.
+func (p *workerPool) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for c := range p.classes {
+		n += len(p.classes[c].queued) + p.classes[c].inFlight
+	}
+	return n
+}
 
-// capacity is the number of waiting slots behind the workers.
-func (p *workerPool) capacity() int { return cap(p.jobs) }
+// queuedLen is the number of waiting (not yet dispatched) jobs of one
+// class. Tests use it to synchronize on enqueue.
+func (p *workerPool) queuedLen(class jobClass) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.classes[class].queued)
+}
+
+// capacity is the number of interactive waiting slots (the historical
+// single-queue figure; per-class capacities are in classSnapshot).
+func (p *workerPool) capacity() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.classes[classInteractive].capacity
+}
+
+// rejectedTotal is the number of refused submissions across both classes.
+func (p *workerPool) rejectedTotal() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.classes[classInteractive].rejected + p.classes[classSweep].rejected
+}
+
+// classSnapshot assembles the per-class /metrics block: queue depth
+// split into queued/in-flight, capacity, rejected and dispatched
+// counters, and the queue-wait latency histogram.
+func (p *workerPool) classSnapshot() map[string]any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]any, numClasses)
+	for c := range p.classes {
+		st := &p.classes[c]
+		out[classNames[c]] = map[string]any{
+			"queued":     len(st.queued),
+			"in_flight":  st.inFlight,
+			"depth":      len(st.queued) + st.inFlight,
+			"capacity":   st.capacity,
+			"rejected":   st.rejected,
+			"dispatched": st.dispatched,
+			"wait_ms":    st.wait.snapshot(),
+		}
+	}
+	return out
+}

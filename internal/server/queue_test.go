@@ -1,0 +1,132 @@
+package server
+
+import (
+	"sync"
+	"testing"
+)
+
+// recordPool builds a single-worker pool whose first job is held at a
+// gate, so the test can enqueue a deterministic backlog before any
+// dispatch decision is made. It returns the pool, the gate release,
+// an append-to-order job factory, and the recorded order (read it only
+// after close() has drained every job).
+func recordPool(t *testing.T, sweepEvery int) (p *workerPool, release func(), tag func(string) func(), order *[]string) {
+	t.Helper()
+	p = newWorkerPool(1, 16, 16, sweepEvery)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if !p.trySubmit(func() { close(started); <-gate }, classInteractive) {
+		t.Fatal("submitting the hold job failed")
+	}
+	<-started // the single worker is now held; later submits only queue
+
+	var mu sync.Mutex
+	order = new([]string)
+	tag = func(name string) func() {
+		return func() {
+			mu.Lock()
+			*order = append(*order, name)
+			mu.Unlock()
+		}
+	}
+	release = func() { close(gate) }
+	return p, release, tag, order
+}
+
+func TestPoolInteractiveBeatsQueuedSweep(t *testing.T) {
+	// sweepEvery 1 disables the guard: pure interactive-first priority.
+	p, release, tag, order := recordPool(t, 1)
+	mustSubmit(t, p, tag("s1"), classSweep)
+	mustSubmit(t, p, tag("s2"), classSweep)
+	mustSubmit(t, p, tag("i1"), classInteractive)
+	release()
+	p.close()
+	assertOrder(t, *order, []string{"i1", "s1", "s2"})
+}
+
+func TestPoolStarvationGuard(t *testing.T) {
+	// Every 2nd dispatch prefers sweep. The hold job was dispatch #1, so
+	// the drain goes: #2 sweep, #3 interactive, #4 sweep, #5, #6.
+	p, release, tag, order := recordPool(t, 2)
+	mustSubmit(t, p, tag("i1"), classInteractive)
+	mustSubmit(t, p, tag("i2"), classInteractive)
+	mustSubmit(t, p, tag("i3"), classInteractive)
+	mustSubmit(t, p, tag("s1"), classSweep)
+	mustSubmit(t, p, tag("s2"), classSweep)
+	release()
+	p.close()
+	assertOrder(t, *order, []string{"s1", "i1", "s2", "i2", "i3"})
+}
+
+func TestPoolDepthExactUnderHeldWorker(t *testing.T) {
+	p, release, tag, _ := recordPool(t, 1)
+	for i := 0; i < 3; i++ {
+		mustSubmit(t, p, tag("x"), classInteractive)
+	}
+	mustSubmit(t, p, tag("y"), classSweep)
+	// One in flight plus four queued: the gauge must be exactly 5 — the
+	// dequeue/in-flight handoff happens under one lock, so there is no
+	// window where a dispatched job is counted in neither bucket.
+	if d := p.depth(); d != 5 {
+		t.Fatalf("depth = %d with 1 in-flight + 4 queued, want exactly 5", d)
+	}
+	if q := p.queuedLen(classInteractive); q != 3 {
+		t.Errorf("interactive queued = %d, want 3", q)
+	}
+	if q := p.queuedLen(classSweep); q != 1 {
+		t.Errorf("sweep queued = %d, want 1", q)
+	}
+	release()
+	p.close()
+	if d := p.depth(); d != 0 {
+		t.Fatalf("depth = %d after drain, want 0", d)
+	}
+}
+
+func TestPoolPerClassRejection(t *testing.T) {
+	p := newWorkerPool(1, 1, 1, 1)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	mustSubmit(t, p, func() { close(started); <-gate }, classInteractive)
+	<-started
+	// One slot per class: the second queued submit of each class refuses.
+	mustSubmit(t, p, func() {}, classInteractive)
+	mustSubmit(t, p, func() {}, classSweep)
+	if p.trySubmit(func() {}, classInteractive) {
+		t.Error("interactive submit accepted beyond capacity")
+	}
+	if p.trySubmit(func() {}, classSweep) {
+		t.Error("sweep submit accepted beyond capacity")
+	}
+	snap := p.classSnapshot()
+	for _, class := range []string{"interactive", "sweep"} {
+		cs := snap[class].(map[string]any)
+		if rej := cs["rejected"].(int64); rej != 1 {
+			t.Errorf("%s rejected = %d, want 1", class, rej)
+		}
+	}
+	if tot := p.rejectedTotal(); tot != 2 {
+		t.Errorf("rejectedTotal = %d, want 2", tot)
+	}
+	close(gate)
+	p.close()
+}
+
+func mustSubmit(t *testing.T, p *workerPool, fn func(), class jobClass) {
+	t.Helper()
+	if !p.trySubmit(fn, class) {
+		t.Fatalf("trySubmit(%s) refused with free capacity", classNames[class])
+	}
+}
+
+func assertOrder(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("ran %d jobs %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}

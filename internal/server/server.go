@@ -15,10 +15,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/pprof"
-	"sort"
 	"strings"
 	"time"
 
@@ -29,9 +29,20 @@ import (
 type Config struct {
 	// Workers is the number of insertion workers; <1 selects GOMAXPROCS.
 	Workers int
-	// QueueDepth is the number of waiting slots behind the workers; <=0
-	// selects 64. A full queue answers 429 with Retry-After.
+	// QueueDepth is the number of interactive waiting slots behind the
+	// workers; <=0 selects 64. A full queue answers 429 with Retry-After.
 	QueueDepth int
+	// SweepQueueDepth is the number of waiting slots of the sweep class
+	// (batch items and requests with "priority": "sweep"); <=0 selects
+	// 256, enough to admit one full default-size batch.
+	SweepQueueDepth int
+	// SweepEvery is the starvation guard of the two-class queue: every
+	// SweepEvery-th dispatch prefers the sweep class even under
+	// interactive load. <=0 selects 4 (one in four); 1 disables the
+	// guard (sweep runs only when no interactive job waits).
+	SweepEvery int
+	// MaxBatchItems bounds the items of one batch request; <=0 selects 256.
+	MaxBatchItems int
 	// TreeCacheSize and ModelCacheSize bound the two LRU caches
 	// (entries); <=0 selects 32.
 	TreeCacheSize  int
@@ -50,6 +61,15 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.SweepQueueDepth <= 0 {
+		c.SweepQueueDepth = 256
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = 4
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
 	}
 	if c.TreeCacheSize <= 0 {
 		c.TreeCacheSize = 32
@@ -84,13 +104,15 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:    cfg,
 		mux:    http.NewServeMux(),
-		pool:   newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		pool:   newWorkerPool(cfg.Workers, cfg.QueueDepth, cfg.SweepQueueDepth, cfg.SweepEvery),
 		trees:  newLRU(cfg.TreeCacheSize),
 		models: newLRU(cfg.ModelCacheSize),
 		met:    newMetrics(),
 	}
 	s.mux.HandleFunc("POST /v1/insert", s.instrument("/v1/insert", s.insert))
+	s.mux.HandleFunc("POST /v1/insert:batch", s.instrument("/v1/insert:batch", s.insertBatch))
 	s.mux.HandleFunc("POST /v1/yield", s.instrument("/v1/yield", s.yield))
+	s.mux.HandleFunc("POST /v1/yield:batch", s.instrument("/v1/yield:batch", s.yieldBatch))
 	s.mux.HandleFunc("GET /v1/benchmarks", s.instrument("/v1/benchmarks", s.benchmarks))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.healthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.metricsHandler))
@@ -142,13 +164,32 @@ const statusClientClosed = 499
 
 func errBody(err error) ErrorResult { return ErrorResult{Error: err.Error()} }
 
-func decodeJSON(r *http.Request, limit int64, dst any) error {
+// decodeJSON decodes the request body into dst, returning the HTTP
+// status of the failure: 413 when the body exceeds limit, 400 for
+// malformed JSON or trailing data after the document.
+func decodeJSON(r *http.Request, limit int64, dst any) (int, error) {
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		return fmt.Errorf("decoding request: %w", err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge, fmt.Errorf(
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("decoding request: %w", err)
 	}
-	return nil
+	// Exactly one JSON document: a second decode must hit EOF, or the
+	// body carries trailing garbage the first decode silently ignored.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge, fmt.Errorf(
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf(
+			"request body has trailing data after the JSON document")
+	}
+	return 0, nil
 }
 
 // preparedRun is everything a worker needs for one insertion job.
@@ -256,9 +297,9 @@ func (s *Server) loadModel(req *InsertRequest, tree *vabuf.Tree) (*modelEntry, b
 	return v.(*modelEntry), hit, nil
 }
 
-// execute submits fn to the pool and waits for it or for the client to
-// go away. A non-zero status reports the failure.
-func (s *Server) execute(ctx context.Context, fn func()) (int, error) {
+// execute submits fn to the pool under the given class and waits for it
+// or for the client to go away. A non-zero status reports the failure.
+func (s *Server) execute(ctx context.Context, class jobClass, fn func()) (int, error) {
 	done := make(chan struct{})
 	job := func() {
 		defer close(done)
@@ -267,7 +308,7 @@ func (s *Server) execute(ctx context.Context, fn func()) (int, error) {
 		}
 		fn()
 	}
-	if !s.pool.trySubmit(job) {
+	if !s.pool.trySubmit(job, class) {
 		return http.StatusTooManyRequests, errOverloaded
 	}
 	select {
@@ -296,44 +337,98 @@ func statusForRunError(err error) int {
 	}
 }
 
-// runInsert is the shared insertion path of /v1/insert and /v1/yield.
-func (s *Server) runInsert(ctx context.Context, req *InsertRequest,
-	p *preparedRun) (*vabuf.Result, time.Duration, int, error) {
-	var (
-		res     *vabuf.Result
-		runErr  error
-		elapsed time.Duration
-	)
-	status, err := s.execute(ctx, func() {
-		opts := p.opts
-		// Abandoned requests cancel the DP instead of burning the worker
-		// until the run finishes on its own.
-		opts.Context = ctx
-		if p.entry != nil {
-			// Serialize runs sharing one cached model: it allocates
-			// per-site sources lazily (see modelEntry).
-			p.entry.mu.Lock()
-			defer p.entry.mu.Unlock()
-			opts.Model = p.entry.model
-		}
-		t0 := time.Now()
-		res, runErr = vabuf.Insert(p.tree, opts)
-		elapsed = time.Since(t0)
-	})
-	if err != nil {
-		return nil, 0, status, err
+// runPrepared executes one prepared insertion on the calling goroutine
+// (a pool worker) and assembles the result DTO. A non-zero status
+// reports the failure. It is the shared item body of /v1/insert and
+// each /v1/insert:batch item.
+func (s *Server) runPrepared(ctx context.Context, req *InsertRequest,
+	p *preparedRun) (*InsertResult, int, error) {
+	opts := p.opts
+	// Abandoned requests cancel the DP instead of burning the worker
+	// until the run finishes on its own.
+	opts.Context = ctx
+	if p.entry != nil {
+		// Serialize runs sharing one cached model: it allocates
+		// per-site sources lazily (see modelEntry).
+		p.entry.mu.Lock()
+		defer p.entry.mu.Unlock()
+		opts.Model = p.entry.model
 	}
-	if runErr != nil {
-		return nil, 0, statusForRunError(runErr), runErr
+	t0 := time.Now()
+	res, err := vabuf.Insert(p.tree, opts)
+	elapsed := time.Since(t0)
+	if err != nil {
+		return nil, statusForRunError(err), err
 	}
 	s.met.recordRun(req.Algo, p.opts.Rule.String(), elapsed, res)
-	return res, elapsed, 0, nil
+	out := NewInsertResult(p.tree, p.lib, req.Algo, p.opts, res, elapsed, req.IncludeAssignment)
+	out.Bench = req.Bench
+	out.TreeCacheHit = p.treeHit
+	out.ModelCacheHit = p.modelHit
+	return &out, 0, nil
+}
+
+// runPreparedYield is runPrepared plus yield analysis and optional
+// Monte-Carlo validation — the shared item body of /v1/yield and each
+// /v1/yield:batch item.
+func (s *Server) runPreparedYield(ctx context.Context, req *YieldRequest,
+	p *preparedRun) (*YieldResult, int, error) {
+	opts := p.opts
+	opts.Context = ctx
+	var model *vabuf.VariationModel
+	if p.entry != nil {
+		p.entry.mu.Lock()
+		defer p.entry.mu.Unlock()
+		model = p.entry.model
+		opts.Model = model
+	}
+	t0 := time.Now()
+	res, err := vabuf.Insert(p.tree, opts)
+	elapsed := time.Since(t0)
+	if err != nil {
+		return nil, statusForRunError(err), err
+	}
+	report, err := vabuf.EvaluateYield(p.tree, p.lib, res.Assignment, model, req.Quantile)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	var mc *MonteCarloDTO
+	if req.MonteCarlo > 0 && model != nil {
+		var samples []float64
+		if req.Parallelism > 1 {
+			// The sharded sampler's stream depends only on (n, seed) but
+			// differs from the serial one, so it is opt-in: existing
+			// clients keep their recorded quantiles.
+			samples, err = vabuf.MonteCarloRATParallel(p.tree, p.lib, res.Assignment,
+				model, req.MonteCarlo, req.Seed, req.Parallelism)
+		} else {
+			samples, err = vabuf.MonteCarloRAT(p.tree, p.lib, res.Assignment,
+				model, req.MonteCarlo, req.Seed)
+		}
+		if err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+		mc = summarizeSamples(samples, req.Quantile)
+	}
+	s.met.recordRun(req.Algo, p.opts.Rule.String(), elapsed, res)
+
+	insert := NewInsertResult(p.tree, p.lib, req.Algo, p.opts, res, elapsed, req.IncludeAssignment)
+	insert.Bench = req.Bench
+	insert.TreeCacheHit = p.treeHit
+	insert.ModelCacheHit = p.modelHit
+	return &YieldResult{
+		Insert:     insert,
+		MeanPS:     report.Mean,
+		SigmaPS:    report.Sigma,
+		YieldRATPS: report.YieldRAT,
+		MonteCarlo: mc,
+	}, 0, nil
 }
 
 func (s *Server) insert(r *http.Request) (int, any) {
 	var req InsertRequest
-	if err := decodeJSON(r, s.cfg.MaxRequestBytes, &req); err != nil {
-		return http.StatusBadRequest, errBody(err)
+	if st, err := decodeJSON(r, s.cfg.MaxRequestBytes, &req); err != nil {
+		return st, errBody(err)
 	}
 	if err := req.normalize(); err != nil {
 		return http.StatusBadRequest, errBody(err)
@@ -342,133 +437,73 @@ func (s *Server) insert(r *http.Request) (int, any) {
 	if err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
-	res, elapsed, status, err := s.runInsert(r.Context(), &req, p)
-	if err != nil {
-		return status, errBody(err)
-	}
-	out := NewInsertResult(p.tree, p.lib, req.Algo, p.opts, res, elapsed, req.IncludeAssignment)
-	out.Bench = req.Bench
-	out.TreeCacheHit = p.treeHit
-	out.ModelCacheHit = p.modelHit
-	return http.StatusOK, out
-}
-
-func (s *Server) yield(r *http.Request) (int, any) {
-	var req YieldRequest
-	if err := decodeJSON(r, s.cfg.MaxRequestBytes, &req); err != nil {
-		return http.StatusBadRequest, errBody(err)
-	}
-	if err := req.normalize(); err != nil {
-		return http.StatusBadRequest, errBody(err)
-	}
-	if req.MonteCarlo < 0 || req.MonteCarlo > 1_000_000 {
-		return http.StatusBadRequest, errBody(fmt.Errorf(
-			"monte_carlo must be in [0, 1000000], got %d", req.MonteCarlo))
-	}
-	if req.Seed == 0 {
-		req.Seed = 1
-	}
-	p, err := s.prepare(&req.InsertRequest)
-	if err != nil {
-		return http.StatusBadRequest, errBody(err)
-	}
-
 	var (
-		res      *vabuf.Result
-		report   vabuf.YieldReport
-		mc       *MonteCarloDTO
-		runErr   error
-		elapsed  time.Duration
-		yieldErr error
+		out       *InsertResult
+		runStatus int
+		runErr    error
 	)
-	status, err := s.execute(r.Context(), func() {
-		opts := p.opts
-		opts.Context = r.Context()
-		var model *vabuf.VariationModel
-		if p.entry != nil {
-			p.entry.mu.Lock()
-			defer p.entry.mu.Unlock()
-			model = p.entry.model
-			opts.Model = model
-		}
-		t0 := time.Now()
-		res, runErr = vabuf.Insert(p.tree, opts)
-		elapsed = time.Since(t0)
-		if runErr != nil {
-			return
-		}
-		report, yieldErr = vabuf.EvaluateYield(p.tree, p.lib, res.Assignment, model, req.Quantile)
-		if yieldErr != nil || req.MonteCarlo <= 0 || model == nil {
-			return
-		}
-		var samples []float64
-		if req.Parallelism > 1 {
-			// The sharded sampler's stream depends only on (n, seed) but
-			// differs from the serial one, so it is opt-in: existing
-			// clients keep their recorded quantiles.
-			samples, yieldErr = vabuf.MonteCarloRATParallel(p.tree, p.lib, res.Assignment,
-				model, req.MonteCarlo, req.Seed, req.Parallelism)
-		} else {
-			samples, yieldErr = vabuf.MonteCarloRAT(p.tree, p.lib, res.Assignment,
-				model, req.MonteCarlo, req.Seed)
-		}
-		if yieldErr != nil {
-			return
-		}
-		mc = summarizeSamples(samples, req.Quantile)
+	status, err := s.execute(r.Context(), classFor(req.Priority), func() {
+		out, runStatus, runErr = s.runPrepared(r.Context(), &req, p)
 	})
 	if err != nil {
 		return status, errBody(err)
 	}
 	if runErr != nil {
-		return statusForRunError(runErr), errBody(runErr)
+		return runStatus, errBody(runErr)
 	}
-	if yieldErr != nil {
-		return http.StatusInternalServerError, errBody(yieldErr)
-	}
-	s.met.recordRun(req.Algo, p.opts.Rule.String(), elapsed, res)
+	return http.StatusOK, out
+}
 
-	insert := NewInsertResult(p.tree, p.lib, req.Algo, p.opts, res, elapsed, req.IncludeAssignment)
-	insert.Bench = req.Bench
-	insert.TreeCacheHit = p.treeHit
-	insert.ModelCacheHit = p.modelHit
-	return http.StatusOK, YieldResult{
-		Insert:     insert,
-		MeanPS:     report.Mean,
-		SigmaPS:    report.Sigma,
-		YieldRATPS: report.YieldRAT,
-		MonteCarlo: mc,
+func (s *Server) yield(r *http.Request) (int, any) {
+	var req YieldRequest
+	if st, err := decodeJSON(r, s.cfg.MaxRequestBytes, &req); err != nil {
+		return st, errBody(err)
 	}
+	if err := req.normalize(); err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	p, err := s.prepare(&req.InsertRequest)
+	if err != nil {
+		return http.StatusBadRequest, errBody(err)
+	}
+	var (
+		out       *YieldResult
+		runStatus int
+		runErr    error
+	)
+	status, err := s.execute(r.Context(), classFor(req.Priority), func() {
+		out, runStatus, runErr = s.runPreparedYield(r.Context(), &req, p)
+	})
+	if err != nil {
+		return status, errBody(err)
+	}
+	if runErr != nil {
+		return runStatus, errBody(runErr)
+	}
+	return http.StatusOK, out
 }
 
 // summarizeSamples reduces Monte-Carlo RATs to the DTO: sample mean,
-// sigma, and the empirical q-quantile.
+// unbiased sigma, and the interpolated empirical q-quantile — via the
+// same vabuf facade helpers (stats.MeanVar, stats.Percentile) the
+// experiments pipeline uses, so /v1/yield numbers match cmd/experiments
+// for identical (n, seed).
 func summarizeSamples(samples []float64, q float64) *MonteCarloDTO {
 	n := len(samples)
 	if n == 0 {
 		return nil
 	}
-	var sum, sumSq float64
-	for _, v := range samples {
-		sum += v
-		sumSq += v * v
-	}
-	mean := sum / float64(n)
-	variance := sumSq/float64(n) - mean*mean
-	if variance < 0 {
-		variance = 0
-	}
-	sorted := append([]float64(nil), samples...)
-	sort.Float64s(sorted)
-	idx := int(q * float64(n))
-	if idx >= n {
-		idx = n - 1
+	mean, variance := vabuf.MeanVar(samples)
+	quantile, err := vabuf.Percentile(samples, q)
+	if err != nil {
+		// q was validated to lie inside (0, 1) and n > 0; unreachable.
+		return nil
 	}
 	return &MonteCarloDTO{
 		Samples:     n,
 		MeanPS:      mean,
 		SigmaPS:     math.Sqrt(variance),
-		QuantileRAT: sorted[idx],
+		QuantileRAT: quantile,
 	}
 }
 

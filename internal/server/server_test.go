@@ -238,7 +238,7 @@ func TestOverloadRejectsWith429(t *testing.T) {
 	}()
 
 	<-started // the single worker is now held busy
-	if !s.pool.trySubmit(func() { <-release }) {
+	if !s.pool.trySubmit(func() { <-release }, classInteractive) {
 		t.Fatal("could not fill the single queue slot")
 	}
 
@@ -379,7 +379,7 @@ func TestCloseDrainsInFlightJobs(t *testing.T) {
 	s := New(Config{Workers: 1, QueueDepth: 1})
 	release := make(chan struct{})
 	started := make(chan struct{})
-	if !s.pool.trySubmit(func() { close(started); <-release }) {
+	if !s.pool.trySubmit(func() { close(started); <-release }, classInteractive) {
 		t.Fatal("submit failed")
 	}
 	<-started

@@ -44,6 +44,7 @@ import (
 	"vabuf/internal/rctree"
 	"vabuf/internal/skew"
 	"vabuf/internal/sta"
+	"vabuf/internal/stats"
 	"vabuf/internal/variation"
 	"vabuf/internal/yield"
 )
@@ -265,6 +266,25 @@ func MonteCarloSkew(tree *Tree, lib Library, assign map[NodeID]int,
 
 // ConstForm returns a deterministic canonical form with the given value.
 func ConstForm(v float64) Form { return variation.Const(v) }
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+//
+// Mean, MeanVar, StdDev, and Percentile re-export the descriptive-stats
+// helpers the experiments pipeline reduces its Monte-Carlo samples
+// with, so external consumers (and the vabufd server) summarize sample
+// vectors exactly the way cmd/experiments does.
+func Mean(xs []float64) float64 { return stats.Mean(xs) }
+
+// MeanVar returns the sample mean and the unbiased (n-1) sample
+// variance of xs in one pass.
+func MeanVar(xs []float64) (mean, variance float64) { return stats.MeanVar(xs) }
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return stats.StdDev(xs) }
+
+// Percentile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between order statistics. It does not modify xs.
+func Percentile(xs []float64, p float64) (float64, error) { return stats.Percentile(xs, p) }
 
 // NewTimingGraph creates an empty timing DAG for statistical STA.
 func NewTimingGraph() *TimingGraph { return sta.NewGraph() }
