@@ -28,11 +28,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -106,6 +108,9 @@ func run() error {
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON (the vabufd /v1/insert DTO)")
 		batchFile = flag.String("batch", "", `JSON array of insert requests to POST as one batch ("-" = stdin)`)
 		serverURL = flag.String("server", "http://localhost:8577", "vabufd base URL for -batch mode")
+		retries   = flag.Int("retries", 4, "batch-mode retries on 429/503/transport errors (0 disables)")
+		retryBase = flag.Duration("retry-base", 250*time.Millisecond, "initial retry backoff (doubles per attempt, with jitter)")
+		retryMax  = flag.Duration("retry-max", 5*time.Second, "backoff cap; Retry-After overrides the computed delay")
 		parallel  = flag.Int("parallel", 0, "DP worker goroutines (0 = GOMAXPROCS, 1 = serial; results identical)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -126,7 +131,8 @@ func run() error {
 		if *bench != "" || *treeFile != "" {
 			return fmt.Errorf("-batch is exclusive with -bench/-tree: the batch file carries the trees")
 		}
-		return runBatch(*batchFile, *serverURL)
+		pol := retryPolicy{retries: *retries, base: *retryBase, max: *retryMax}
+		return runBatch(*batchFile, *serverURL, pol)
 	}
 
 	if err := server.CheckUnitInterval("-pbar", *pbar); err != nil {
@@ -264,12 +270,76 @@ func run() error {
 	return nil
 }
 
+// retryPolicy is the batch-mode retry schedule: capped exponential
+// backoff with jitter, honoring the server's Retry-After hint.
+type retryPolicy struct {
+	retries int
+	base    time.Duration
+	max     time.Duration
+}
+
+// delay computes the sleep before retry attempt (1-based). A Retry-After
+// header (seconds) takes precedence over the computed backoff; jitter of
+// ±25% keeps a fleet of clients from retrying in lockstep.
+func (p retryPolicy) delay(attempt int, retryAfter string) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	d := p.base << (attempt - 1)
+	if d > p.max || d <= 0 {
+		d = p.max
+	}
+	jitter := 0.75 + 0.5*rand.Float64()
+	return time.Duration(float64(d) * jitter)
+}
+
+// retryableStatus reports whether an aggregate HTTP status is worth
+// retrying: 429 (queue full) and 503 (draining/shedding) are explicit
+// back-off-and-retry signals from vabufd.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// postWithRetry posts payload, retrying transport errors and retryable
+// statuses per the policy. It returns the final response (which may
+// still carry a retryable status once attempts are exhausted).
+func postWithRetry(url string, payload []byte, pol retryPolicy) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+		if err == nil && !retryableStatus(resp.StatusCode) {
+			return resp, nil
+		}
+		retryAfter := ""
+		if err != nil {
+			lastErr = err
+		} else {
+			retryAfter = resp.Header.Get("Retry-After")
+			if attempt >= pol.retries {
+				return resp, nil
+			}
+			// Discard the overload body; the retried call answers afresh.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if attempt >= pol.retries {
+			return nil, lastErr
+		}
+		d := pol.delay(attempt+1, retryAfter)
+		fmt.Fprintf(os.Stderr, "bufins: server busy (attempt %d/%d), retrying in %s\n",
+			attempt+1, pol.retries, d.Round(time.Millisecond))
+		time.Sleep(d)
+	}
+}
+
 // runBatch reads a JSON array of insert requests and posts them to the
 // server as one /v1/insert:batch call, printing the aggregate response.
-// A non-200 aggregate status or any failed item is reported on stderr;
-// per-item errors do not abort the batch (exit is non-zero only when
-// the call itself failed).
-func runBatch(file, baseURL string) error {
+// Overload answers (429 queue-full, 503 draining/shedding) are retried
+// with capped exponential backoff honoring Retry-After. A non-200
+// aggregate status or any failed item is reported on stderr; per-item
+// errors do not abort the batch (exit is non-zero only when the call
+// itself failed).
+func runBatch(file, baseURL string, pol retryPolicy) error {
 	var raw []byte
 	var err error
 	if file == "-" {
@@ -288,8 +358,7 @@ func runBatch(file, baseURL string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(strings.TrimRight(baseURL, "/")+"/v1/insert:batch",
-		"application/json", bytes.NewReader(payload))
+	resp, err := postWithRetry(strings.TrimRight(baseURL, "/")+"/v1/insert:batch", payload, pol)
 	if err != nil {
 		return err
 	}

@@ -10,7 +10,9 @@
 //	POST /v1/yield        insertion + yield analysis, optional Monte Carlo
 //	POST /v1/yield:batch  batched yield runs
 //	GET  /v1/benchmarks   list the built-in Table 1 benchmark names
-//	GET  /healthz         liveness probe
+//	GET  /healthz         liveness probe (200 while the process is up)
+//	GET  /readyz          readiness probe (503 while draining, restoring a
+//	                      snapshot, or shedding under sustained overload)
 //	GET  /metrics         counters, latency histograms, per-class queue and cache stats
 //
 // The job queue has two priority classes: interactive (default) and
@@ -21,7 +23,8 @@
 // Overload (full job queue) answers 429 with Retry-After; per-request
 // deadlines map ErrTimeout to 504 and candidate-capacity overruns
 // (ErrCapacity) to 413. SIGINT/SIGTERM trigger a graceful shutdown that
-// drains in-flight jobs.
+// drains in-flight jobs and — with -snapshot set — writes a final cache
+// snapshot that the next boot restores for a warm start.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -54,6 +58,12 @@ func main() {
 			"default per-request insertion deadline (0 = none)")
 		maxBody     = flag.Int64("max-body", 8<<20, "request body limit in bytes")
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
+		snapshot    = flag.String("snapshot", "",
+			"cache snapshot file: restored on boot, rewritten on graceful drain (empty = no persistence)")
+		snapshotEvery = flag.Duration("snapshot-every", 0,
+			"also rewrite -snapshot periodically, bounding warm-up lost to a crash (0 = only on drain)")
+		shedAfter = flag.Duration("shed-after", 10*time.Second,
+			"reject sweep-class work early (503) once the job queue has been saturated this long (0 disables)")
 	)
 	flag.Parse()
 
@@ -68,31 +78,63 @@ func main() {
 		DefaultTimeout:  *timeout,
 		MaxRequestBytes: *maxBody,
 		EnablePprof:     *enablePprof,
+		SnapshotPath:    *snapshot,
+		SnapshotEvery:   *snapshotEvery,
+		ShedAfter:       *shedAfter,
 	})
+	if *snapshot != "" {
+		if _, err := os.Stat(*snapshot); err == nil {
+			// Restore in the background so the listener comes up
+			// immediately; /readyz reports 503 restoring until done.
+			srv.RestoreSnapshotAsync(*snapshot, func(stats server.RestoreStats, err error) {
+				if err != nil {
+					log.Printf("vabufd: snapshot restore: %v (serving cold)", err)
+					return
+				}
+				log.Printf("vabufd: snapshot restored: %d trees, %d models, %d skipped",
+					stats.Trees, stats.Models, stats.Skipped)
+			})
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("vabufd: snapshot %s unreadable: %v (serving cold)", *snapshot, err)
+		}
+	}
+
+	// Install the signal handler before the listener comes up: once the
+	// daemon is reachable (and has logged its address), SIGTERM must take
+	// the graceful path — never the runtime's default kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Listen before logging so -addr with port 0 reports the bound port —
+	// the kill-and-restart integration test (and local tooling) parses it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("vabufd: listen: %v", err)
+	}
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
+	go func() { errc <- hs.Serve(ln) }()
 	nWorkers := *workers
 	if nWorkers < 1 {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
 	log.Printf("vabufd listening on %s (%d workers, queue %d+%d sweep, 1-in-%d sweep dispatch, max batch %d, tree cache %d, model cache %d)",
-		*addr, nWorkers, *queue, *sweepQueue, *sweepEvery, *maxBatch, *treeCache, *modelCache)
+		ln.Addr(), nWorkers, *queue, *sweepQueue, *sweepEvery, *maxBatch, *treeCache, *modelCache)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	select {
 	case err := <-errc:
 		log.Fatalf("vabufd: %v", err)
 	case <-ctx.Done():
 	}
 
+	// Flip readiness first so probes steer traffic away, then stop the
+	// listener, then drain the pool and write the final snapshot.
 	log.Print("vabufd: shutdown signal; draining in-flight jobs")
+	srv.StartDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,0 +1,192 @@
+package vabuf_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"vabuf"
+)
+
+// startVabufd launches the daemon on an ephemeral port and returns its
+// process plus the base URL parsed from the startup log line.
+func startVabufd(t *testing.T, bin string, extraArgs ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting vabufd: %v", err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	// The daemon logs "vabufd listening on 127.0.0.1:PORT (...)" after
+	// binding; everything else on stderr is drained in the background so
+	// the process never blocks on a full pipe.
+	sc := bufio.NewScanner(stderr)
+	addr := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if _, rest, ok := strings.Cut(line, "listening on "); ok {
+			addr, _, _ = strings.Cut(rest, " ")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("vabufd never logged its listen address (scan err %v)", sc.Err())
+	}
+	go io.Copy(io.Discard, stderr)
+	return cmd, "http://" + addr
+}
+
+// waitReady polls GET /readyz until it answers 200 (the daemon may be
+// restoring a snapshot right after boot).
+func waitReady(t *testing.T, baseURL string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(baseURL + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%s/readyz never answered 200", baseURL)
+}
+
+func postInsert(t *testing.T, baseURL string, req map[string]any) (int, map[string]any) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/insert", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("POST /v1/insert: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("parsing response: %v\n%s", err, raw)
+	}
+	return resp.StatusCode, out
+}
+
+// TestVabufdKillAndRestart is the crash-safe-serving integration test:
+// seed the daemon's caches, SIGTERM it (graceful drain writes the final
+// snapshot), restart it against the same snapshot file, and check that
+// the first request for a previously-seen tree hits both caches.
+func TestVabufdKillAndRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	bin := buildCmd(t, "./cmd/vabufd")
+	snap := filepath.Join(t.TempDir(), "caches.snap")
+
+	tree, err := vabuf.GenerateTree(vabuf.BenchmarkSpec{Name: "t8", Sinks: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := vabuf.WriteTree(&buf, tree); err != nil {
+		t.Fatal(err)
+	}
+	req := map[string]any{"tree": buf.String(), "algo": "wid"}
+
+	cmd1, url1 := startVabufd(t, bin, "-snapshot", snap)
+	waitReady(t, url1)
+	status, res := postInsert(t, url1, req)
+	if status != http.StatusOK {
+		t.Fatalf("seed request status %d: %v", status, res)
+	}
+	if res["tree_cache_hit"] == true {
+		t.Fatal("first request on a fresh daemon reported a tree cache hit")
+	}
+
+	// Graceful shutdown: drain and write the final snapshot.
+	if err := cmd1.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd1.Wait(); err != nil {
+		t.Fatalf("vabufd exited with %v after SIGTERM", err)
+	}
+
+	cmd2, url2 := startVabufd(t, bin, "-snapshot", snap)
+	waitReady(t, url2)
+	status, res = postInsert(t, url2, req)
+	if status != http.StatusOK {
+		t.Fatalf("post-restart request status %d: %v", status, res)
+	}
+	if res["tree_cache_hit"] != true || res["model_cache_hit"] != true {
+		t.Errorf("post-restart hits: tree=%v model=%v, want both true (warm restart)",
+			res["tree_cache_hit"], res["model_cache_hit"])
+	}
+
+	// /metrics on the restarted daemon reports the restore.
+	resp, err := http.Get(url2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var met map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&met); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	snapMet, _ := met["snapshot"].(map[string]any)
+	if snapMet == nil || snapMet["restored_trees"].(float64) < 1 {
+		t.Errorf("restarted daemon /metrics snapshot block = %v, want restored_trees >= 1", snapMet)
+	}
+
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("restarted vabufd exited with %v after SIGTERM", err)
+	}
+}
+
+// TestVabufdReadyzDraining checks the probe split: SIGTERM flips /readyz
+// to 503 (or closes the listener) while the process drains gracefully.
+func TestVabufdReadyzProbes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI tests build binaries")
+	}
+	bin := buildCmd(t, "./cmd/vabufd")
+	_, url := startVabufd(t, bin)
+	waitReady(t, url)
+
+	for _, probe := range []struct {
+		path string
+		want int
+	}{{"/healthz", http.StatusOK}, {"/readyz", http.StatusOK}} {
+		resp, err := http.Get(url + probe.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", probe.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != probe.want {
+			t.Errorf("%s = %d, want %d", probe.path, resp.StatusCode, probe.want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -71,6 +72,9 @@ func Read(r io.Reader) (*Tree, error) {
 			if t.Wire.C, err = strconv.ParseFloat(fields[2], 64); err != nil {
 				return nil, fmt.Errorf("rctree: line %d: bad wire c: %w", lineNo, err)
 			}
+			if !isFinite(t.Wire.R) || !isFinite(t.Wire.C) {
+				return nil, fmt.Errorf("rctree: line %d: non-finite wire parasitics", lineNo)
+			}
 		case "driver":
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("rctree: line %d: driver needs 1 value", lineNo)
@@ -78,6 +82,9 @@ func Read(r io.Reader) (*Tree, error) {
 			var err error
 			if t.DriverR, err = strconv.ParseFloat(fields[1], 64); err != nil {
 				return nil, fmt.Errorf("rctree: line %d: bad driver R: %w", lineNo, err)
+			}
+			if !isFinite(t.DriverR) {
+				return nil, fmt.Errorf("rctree: line %d: non-finite driver R", lineNo)
 			}
 		case "node":
 			n, err := parseNode(fields)
@@ -90,7 +97,9 @@ func Read(r io.Reader) (*Tree, error) {
 			}
 			t.Nodes = append(t.Nodes, n)
 			if n.Parent != NoNode {
-				if int(n.Parent) >= len(t.Nodes) {
+				// parseNode guarantees Parent >= -1, so the only invalid
+				// references left are self/forward ones.
+				if n.Parent >= n.ID {
 					return nil, fmt.Errorf("rctree: line %d: node %d references later parent %d",
 						lineNo, n.ID, n.Parent)
 				}
@@ -117,6 +126,8 @@ func Read(r io.Reader) (*Tree, error) {
 	return t, nil
 }
 
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 func parseNode(fields []string) (Node, error) {
 	if len(fields) < 10 {
 		return Node{}, fmt.Errorf("node record needs >= 10 fields, got %d", len(fields))
@@ -125,6 +136,11 @@ func parseNode(fields []string) (Node, error) {
 	id, err := strconv.Atoi(fields[1])
 	if err != nil {
 		return Node{}, fmt.Errorf("bad node id: %w", err)
+	}
+	// NodeID is int32: reject ids outside its range before the conversion
+	// silently truncates them (a huge id could otherwise alias a valid one).
+	if id < 0 || id > math.MaxInt32 {
+		return Node{}, fmt.Errorf("node id %d out of range", id)
 	}
 	n.ID = NodeID(id)
 	switch fields[2] {
@@ -143,6 +159,9 @@ func parseNode(fields []string) (Node, error) {
 		if err != nil {
 			return Node{}, fmt.Errorf("bad numeric field %d: %w", idx, err)
 		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Node{}, fmt.Errorf("non-finite numeric field %d: %s", idx, fields[idx])
+		}
 		floats = append(floats, v)
 	}
 	n.Loc.X, n.Loc.Y = floats[0], floats[1]
@@ -151,6 +170,11 @@ func parseNode(fields []string) (Node, error) {
 	parent, err := strconv.Atoi(fields[5])
 	if err != nil {
 		return Node{}, fmt.Errorf("bad parent: %w", err)
+	}
+	// -1 (NoNode) marks the root; anything more negative would index the
+	// node slice out of range, and anything past int32 would truncate.
+	if parent < int(NoNode) || parent > math.MaxInt32 {
+		return Node{}, fmt.Errorf("parent %d out of range", parent)
 	}
 	n.Parent = NodeID(parent)
 	switch fields[7] {

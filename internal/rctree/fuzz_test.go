@@ -1,0 +1,75 @@
+package rctree
+
+import (
+	"strings"
+	"testing"
+
+	"vabuf/internal/geom"
+)
+
+// seedTree builds a small valid tree through the construction API, so the
+// fuzz corpus starts from well-formed inputs the mutator can distort.
+func seedTree() *Tree {
+	t := New(WireParams{R: 0.1, C: 0.2}, 0.12, geom.Point{})
+	s1 := t.AddSteiner(0, geom.Point{X: 100, Y: 0}, 100)
+	t.AddSink(s1, geom.Point{X: 200, Y: 50}, 120, 0.01, 500)
+	t.AddSink(s1, geom.Point{X: 200, Y: -50}, 120, 0.02, 480)
+	return t
+}
+
+// FuzzParseTree asserts the parser's crash-safety contract: Read must
+// return (*Tree, nil) or (nil, error) for arbitrary bytes — never panic,
+// never both, never a tree that fails its own Validate. On success the
+// text format must round-trip: Write(Read(x)) reparses to an equal tree.
+func FuzzParseTree(f *testing.F) {
+	var buf strings.Builder
+	if err := Write(&buf, seedTree()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("tree v1\nwire 0.1 0.2\ndriver 0.1\nnode 0 driver 0 0 -1 0 0 0 0 drv\n")
+	// Regression seeds for panics the parser used to hit: a parent below
+	// -1 indexed the node slice out of range, and 2^32-scale ids
+	// truncated through the int32 NodeID into aliases of valid ids.
+	f.Add("tree v1\nnode 0 driver 0 0 -1 0 0 0 0 drv\nnode 1 sink 1 1 -5 1 1 0.1 100 s\n")
+	f.Add("tree v1\nnode 0 driver 0 0 -1 0 0 0 0 drv\nnode 4294967297 sink 1 1 0 1 1 0.1 100 s\n")
+	f.Add("tree v1\nwire NaN Inf\ndriver -Inf\nnode 0 driver NaN 0 -1 0 0 0 0 drv\n")
+	f.Add("# comment only\n\n")
+	f.Add("tree v1\nnode 0 sink 0 0 0 0 0 0 0 self\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		tree, err := Read(strings.NewReader(input))
+		if err != nil {
+			if tree != nil {
+				t.Fatalf("Read returned both a tree and error %v", err)
+			}
+			return
+		}
+		if tree == nil {
+			t.Fatal("Read returned (nil, nil)")
+		}
+		if verr := tree.Validate(); verr != nil {
+			t.Fatalf("Read accepted a tree that fails Validate: %v", verr)
+		}
+		// Round-trip: the accepted tree must serialize and reparse equal.
+		var out strings.Builder
+		if err := Write(&out, tree); err != nil {
+			t.Fatalf("Write failed on accepted tree: %v", err)
+		}
+		back, err := Read(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("reparsing written tree: %v\ntext:\n%s", err, out.String())
+		}
+		if len(back.Nodes) != len(tree.Nodes) {
+			t.Fatalf("round-trip node count %d != %d", len(back.Nodes), len(tree.Nodes))
+		}
+		for i := range tree.Nodes {
+			a, b := &tree.Nodes[i], &back.Nodes[i]
+			if a.ID != b.ID || a.Kind != b.Kind || a.Parent != b.Parent ||
+				a.Loc != b.Loc || a.WireLen != b.WireLen || a.BufferOK != b.BufferOK ||
+				a.CapLoad != b.CapLoad || a.RAT != b.RAT {
+				t.Fatalf("round-trip node %d mismatch:\n  got  %+v\n  want %+v", i, b, a)
+			}
+		}
+	})
+}

@@ -6,8 +6,10 @@ package server
 // trees and models through the LRU caches once per distinct key, fans
 // the items out over the worker pool under the sweep class, and answers
 // one aggregate response with per-item results or per-item errors.
-// Partial failure never fails the batch: the overall status is 200 with
-// an "errors" count, and 429 only when nothing could be enqueued.
+// Partial failure never fails the batch: a panicking item answers a
+// per-item 500 while its siblings run to completion, the overall status
+// is 200 with an "errors" count, and only a batch where nothing could
+// be enqueued answers 429 (pool full) or 503 (draining/shedding).
 
 import (
 	"fmt"
@@ -26,22 +28,53 @@ func (s *Server) batchBounds(n int) error {
 	return nil
 }
 
-// submitBatchItem queues fn under the sweep class, reporting false on
-// pool overload. The test hook runs at job start, exactly as on the
-// single-request path.
-func (s *Server) submitBatchItem(fn func()) bool {
-	return s.pool.trySubmit(func() {
+// submitResult is the admission outcome of one batch item.
+type submitResult int
+
+const (
+	submitOK submitResult = iota
+	submitOverloaded
+	submitShed
+)
+
+// submitBatchItem queues fn under the sweep class. The job runs under
+// recover(): a panic calls onPanic with the structured error instead of
+// killing the worker, and wg.Done fires only after recovery, so the
+// aggregate never reads a half-written item. While the shed gate is
+// active, sweep items are refused before touching the queue.
+func (s *Server) submitBatchItem(endpoint string, wg *sync.WaitGroup,
+	fn func(), onPanic func(error)) submitResult {
+	if s.shedding() {
+		s.met.recordShed(endpoint)
+		return submitShed
+	}
+	job := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				onPanic(s.met.panicRecovered(endpoint, r))
+			}
+		}()
 		if s.testHookJob != nil {
 			s.testHookJob()
 		}
+		s.faultBeforeJob(endpoint)
 		fn()
-	}, classSweep)
+	}
+	if !s.pool.trySubmit(job, classSweep) {
+		return submitOverloaded
+	}
+	return submitOK
 }
 
-// batchStatus maps the enqueue outcome to the aggregate HTTP status:
-// 429 only when the pool refused every item that made it past
-// validation and nothing ran at all.
-func batchStatus(enqueued, overloaded int) int {
+// batchStatus maps the enqueue outcome to the aggregate HTTP status: the
+// batch fails as a whole only when nothing at all could be enqueued —
+// 503 when the shed gate (or drain) refused the items, 429 when the
+// pool was full.
+func batchStatus(enqueued, overloaded, shed int) int {
+	if enqueued == 0 && shed > 0 {
+		return http.StatusServiceUnavailable
+	}
 	if enqueued == 0 && overloaded > 0 {
 		return http.StatusTooManyRequests
 	}
@@ -49,6 +82,9 @@ func batchStatus(enqueued, overloaded int) int {
 }
 
 func (s *Server) insertBatch(r *http.Request) (int, any) {
+	if s.isDraining() {
+		return http.StatusServiceUnavailable, errBody(errDraining)
+	}
 	var breq BatchInsertRequest
 	if st, err := decodeJSON(r, s.cfg.MaxRequestBytes, &breq); err != nil {
 		return st, errBody(err)
@@ -58,7 +94,7 @@ func (s *Server) insertBatch(r *http.Request) (int, any) {
 	}
 	out := BatchInsertResult{Items: make([]BatchItemResult, len(breq.Items))}
 	var wg sync.WaitGroup
-	enqueued, overloaded := 0, 0
+	enqueued, overloaded, shed := 0, 0, 0
 	for i := range breq.Items {
 		item := &out.Items[i]
 		item.Index = i
@@ -76,19 +112,26 @@ func (s *Server) insertBatch(r *http.Request) (int, any) {
 			continue
 		}
 		wg.Add(1)
-		ok := s.submitBatchItem(func() {
-			defer wg.Done()
+		res := s.submitBatchItem("/v1/insert:batch", &wg, func() {
 			res, st, err := s.runPrepared(r.Context(), &req, p)
 			if err != nil {
 				item.Status, item.Error = st, err.Error()
 				return
 			}
 			item.Status, item.Result = http.StatusOK, res
+		}, func(perr error) {
+			item.Status, item.Error = http.StatusInternalServerError, perr.Error()
 		})
-		if !ok {
+		if res != submitOK {
 			wg.Done()
-			overloaded++
-			item.Status, item.Error = http.StatusTooManyRequests, errOverloaded.Error()
+			switch res {
+			case submitOverloaded:
+				overloaded++
+				item.Status, item.Error = http.StatusTooManyRequests, errOverloaded.Error()
+			case submitShed:
+				shed++
+				item.Status, item.Error = http.StatusServiceUnavailable, errShedding.Error()
+			}
 			continue
 		}
 		enqueued++
@@ -104,10 +147,13 @@ func (s *Server) insertBatch(r *http.Request) (int, any) {
 			out.Errors++
 		}
 	}
-	return batchStatus(enqueued, overloaded), out
+	return batchStatus(enqueued, overloaded, shed), out
 }
 
 func (s *Server) yieldBatch(r *http.Request) (int, any) {
+	if s.isDraining() {
+		return http.StatusServiceUnavailable, errBody(errDraining)
+	}
 	var breq BatchYieldRequest
 	if st, err := decodeJSON(r, s.cfg.MaxRequestBytes, &breq); err != nil {
 		return st, errBody(err)
@@ -117,7 +163,7 @@ func (s *Server) yieldBatch(r *http.Request) (int, any) {
 	}
 	out := BatchYieldResult{Items: make([]BatchYieldItemResult, len(breq.Items))}
 	var wg sync.WaitGroup
-	enqueued, overloaded := 0, 0
+	enqueued, overloaded, shed := 0, 0, 0
 	for i := range breq.Items {
 		item := &out.Items[i]
 		item.Index = i
@@ -133,19 +179,26 @@ func (s *Server) yieldBatch(r *http.Request) (int, any) {
 			continue
 		}
 		wg.Add(1)
-		ok := s.submitBatchItem(func() {
-			defer wg.Done()
+		res := s.submitBatchItem("/v1/yield:batch", &wg, func() {
 			res, st, err := s.runPreparedYield(r.Context(), &req, p)
 			if err != nil {
 				item.Status, item.Error = st, err.Error()
 				return
 			}
 			item.Status, item.Result = http.StatusOK, res
+		}, func(perr error) {
+			item.Status, item.Error = http.StatusInternalServerError, perr.Error()
 		})
-		if !ok {
+		if res != submitOK {
 			wg.Done()
-			overloaded++
-			item.Status, item.Error = http.StatusTooManyRequests, errOverloaded.Error()
+			switch res {
+			case submitOverloaded:
+				overloaded++
+				item.Status, item.Error = http.StatusTooManyRequests, errOverloaded.Error()
+			case submitShed:
+				shed++
+				item.Status, item.Error = http.StatusServiceUnavailable, errShedding.Error()
+			}
 			continue
 		}
 		enqueued++
@@ -158,5 +211,5 @@ func (s *Server) yieldBatch(r *http.Request) (int, any) {
 			out.Errors++
 		}
 	}
-	return batchStatus(enqueued, overloaded), out
+	return batchStatus(enqueued, overloaded, shed), out
 }

@@ -27,6 +27,10 @@ type cacheSlot struct {
 	once sync.Once
 	val  any
 	err  error
+	// ready is set (after once has run) once val/err are safe to read
+	// without holding the slot's once — the snapshot writer iterates
+	// finished slots while requests may still be building others.
+	ready atomic.Bool
 }
 
 func newLRU(capacity int) *lruCache {
@@ -63,6 +67,7 @@ func (c *lruCache) do(key string, build func() (any, error)) (val any, hit bool,
 	c.mu.Unlock()
 
 	slot.once.Do(func() { slot.val, slot.err = build() })
+	slot.ready.Store(true)
 	if slot.err != nil {
 		c.mu.Lock()
 		if cur, ok := c.slots[key]; ok && cur == el {
@@ -73,6 +78,65 @@ func (c *lruCache) do(key string, build func() (any, error)) (val any, hit bool,
 		return nil, ok, slot.err
 	}
 	return slot.val, ok, nil
+}
+
+// add inserts an already-built value — the snapshot-restore path. It
+// counts as neither hit nor miss; a later do() for the same key reports
+// a hit, which is exactly what a warm restart should look like.
+func (c *lruCache) add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.slots[key]; ok {
+		return
+	}
+	slot := &cacheSlot{key: key, val: val}
+	slot.once.Do(func() {}) // consume the once so do() never rebuilds
+	slot.ready.Store(true)
+	c.slots[key] = c.order.PushFront(slot)
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.slots, oldest.Value.(*cacheSlot).key)
+	}
+}
+
+// peek returns the finished value for key without counting a hit or
+// reordering the LRU. It reports false for absent or still-building slots.
+func (c *lruCache) peek(key string) (any, bool) {
+	c.mu.Lock()
+	el, ok := c.slots[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	slot := el.Value.(*cacheSlot)
+	if !slot.ready.Load() || slot.err != nil {
+		return nil, false
+	}
+	return slot.val, true
+}
+
+// cacheEntry is one finished cache slot, as seen by the snapshot writer.
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// entries returns the finished slots in LRU order (most recent first).
+// Slots still building — or whose build failed — are skipped: the
+// snapshot only ever persists values a request actually received.
+func (c *lruCache) entries() []cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntry, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		slot := el.Value.(*cacheSlot)
+		if !slot.ready.Load() || slot.err != nil {
+			continue
+		}
+		out = append(out, cacheEntry{key: slot.key, val: slot.val})
+	}
+	return out
 }
 
 // stats returns the cumulative hit/miss counters and the current size.
@@ -87,7 +151,16 @@ func (c *lruCache) stats() (hits, misses int64, size int) {
 // runs that share it: variation.Model allocates per-site random sources
 // lazily, so two concurrent insertions over one instance would race. Runs
 // on distinct (tree, config) keys still proceed in parallel.
+//
+// The build parameters ride along so the snapshot writer can persist the
+// recipe instead of the model itself — models rebuild deterministically
+// from (tree, algo, budget, heterogeneous) on restore.
 type modelEntry struct {
 	mu    sync.Mutex
 	model *vabuf.VariationModel
+
+	treeKey string // tree-cache key the model was built against
+	algo    string
+	budget  float64
+	hetero  bool
 }

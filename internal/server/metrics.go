@@ -2,6 +2,8 @@ package server
 
 import (
 	"fmt"
+	"log"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -61,6 +63,15 @@ type pruneTotals struct {
 	arenaBytes      int64
 }
 
+// snapshotCounters tracks the cache snapshot/warm-restart machinery.
+type snapshotCounters struct {
+	restoredTrees  int64
+	restoredModels int64
+	skipped        int64 // corrupt/unrecoverable entries dropped on restore
+	saves          int64
+	saveErrors     int64
+}
+
 // metrics is the expvar-style registry behind GET /metrics.
 type metrics struct {
 	start time.Time
@@ -69,6 +80,9 @@ type metrics struct {
 	requests map[string]map[string]int64 // endpoint -> status code -> count
 	latency  map[string]*histogram       // "algo/rule" -> run latency
 	prune    pruneTotals
+	panics   map[string]int64 // endpoint -> panics recovered in its jobs
+	shed     map[string]int64 // endpoint -> sweep submissions shed early
+	snap     snapshotCounters
 }
 
 func newMetrics() *metrics {
@@ -76,7 +90,48 @@ func newMetrics() *metrics {
 		start:    time.Now(),
 		requests: make(map[string]map[string]int64),
 		latency:  make(map[string]*histogram),
+		panics:   make(map[string]int64),
+		shed:     make(map[string]int64),
 	}
+}
+
+// panicRecovered records a panic recovered inside a pool job submitted
+// by endpoint, logs the stack, and returns the error the request (or
+// batch item) answers as its structured 500. The worker that ran the
+// job survives and returns to the pool.
+func (m *metrics) panicRecovered(endpoint string, v any) error {
+	m.mu.Lock()
+	m.panics[endpoint]++
+	m.mu.Unlock()
+	log.Printf("%s: recovered panic in job: %v\n%s", endpoint, v, debug.Stack())
+	return fmt.Errorf("internal panic in insertion job (recovered): %v", v)
+}
+
+// recordShed counts a sweep-class submission rejected by the shed gate.
+func (m *metrics) recordShed(endpoint string) {
+	m.mu.Lock()
+	m.shed[endpoint]++
+	m.mu.Unlock()
+}
+
+// recordSnapshotSave counts a snapshot write attempt.
+func (m *metrics) recordSnapshotSave(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.snap.saveErrors++
+		return
+	}
+	m.snap.saves++
+}
+
+// recordSnapshotRestore accumulates the outcome of a snapshot restore.
+func (m *metrics) recordSnapshotRestore(stats RestoreStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snap.restoredTrees += int64(stats.Trees)
+	m.snap.restoredModels += int64(stats.Models)
+	m.snap.skipped += int64(stats.Skipped)
 }
 
 func (m *metrics) recordRequest(endpoint string, status int) {
@@ -131,9 +186,10 @@ func cacheSnapshot(c *lruCache, capacity int) map[string]any {
 	}
 }
 
-// snapshot assembles the full /metrics document.
+// snapshot assembles the full /metrics document. state is the current
+// readiness reason (see Server.readyState).
 func (m *metrics) snapshot(pool *workerPool, trees, models *lruCache,
-	treeCap, modelCap int) map[string]any {
+	treeCap, modelCap int, state string) map[string]any {
 	m.mu.Lock()
 	requests := make(map[string]map[string]int64, len(m.requests))
 	for ep, byStatus := range m.requests {
@@ -146,6 +202,21 @@ func (m *metrics) snapshot(pool *workerPool, trees, models *lruCache,
 	latency := make(map[string]any, len(m.latency))
 	for key, h := range m.latency {
 		latency[key] = h.snapshot()
+	}
+	panics := make(map[string]int64, len(m.panics))
+	for ep, n := range m.panics {
+		panics[ep] = n
+	}
+	shed := make(map[string]int64, len(m.shed))
+	for ep, n := range m.shed {
+		shed[ep] = n
+	}
+	snap := map[string]any{
+		"restored_trees":  m.snap.restoredTrees,
+		"restored_models": m.snap.restoredModels,
+		"skipped":         m.snap.skipped,
+		"saves":           m.snap.saves,
+		"save_errors":     m.snap.saveErrors,
 	}
 	prune := map[string]any{
 		"runs":             m.prune.runs,
@@ -163,18 +234,30 @@ func (m *metrics) snapshot(pool *workerPool, trees, models *lruCache,
 
 	return map[string]any{
 		"uptime_seconds": time.Since(m.start).Seconds(),
+		"state":          state,
 		"requests":       requests,
 		"latency_ms":     latency,
+		// panics_recovered counts jobs whose panic was converted into a
+		// structured 500 for that request/item, keyed by the endpoint
+		// that submitted them; the worker always survives.
+		"panics_recovered": panics,
+		// shed counts sweep-class submissions rejected early (503) while
+		// the queue was saturated past -shed-after.
+		"shed": shed,
+		// snapshot tracks cache persistence: restore/skip counts from
+		// warm restarts plus save attempts and failures.
+		"snapshot": snap,
 		// depth/capacity/rejected keep their pre-priority-queue meaning
 		// (existing dashboards); "classes" splits them per class with
 		// queue-wait latency histograms.
 		"queue": map[string]any{
-			"depth":       pool.depth(),
-			"capacity":    pool.capacity(),
-			"workers":     pool.workers,
-			"rejected":    pool.rejectedTotal(),
-			"sweep_every": pool.sweepEvery,
-			"classes":     pool.classSnapshot(),
+			"depth":         pool.depth(),
+			"capacity":      pool.capacity(),
+			"workers":       pool.workers,
+			"rejected":      pool.rejectedTotal(),
+			"sweep_every":   pool.sweepEvery,
+			"worker_panics": pool.workerPanics(),
+			"classes":       pool.classSnapshot(),
 		},
 		"caches": map[string]any{
 			"tree":  cacheSnapshot(trees, treeCap),

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"log"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -63,6 +65,16 @@ type workerPool struct {
 	classes    [numClasses]classState
 	closed     bool
 	dispatches int64
+	// panics counts jobs that panicked all the way to the worker loop —
+	// the backstop recover. Server-submitted jobs recover (and answer a
+	// structured 500) inside their own closure, so this stays zero unless
+	// a raw pool submission escapes its own guard.
+	panics int64
+	// saturatedSince is the start of the current saturation episode: set
+	// when a submit is refused with a full queue, cleared lazily once both
+	// class queues have free slots again. The server's shed gate compares
+	// its age against Config.ShedAfter.
+	saturatedSince time.Time
 
 	wg         sync.WaitGroup
 	workers    int
@@ -108,9 +120,25 @@ func (p *workerPool) run() {
 		if !ok {
 			return
 		}
-		job.fn()
+		p.runJob(job)
 		p.finish(job.class)
 	}
+}
+
+// runJob executes one dequeued job under a backstop recover: a panic
+// kills the job, never the worker. The pool stays at full strength and
+// keeps draining the queue.
+func (p *workerPool) runJob(job queuedJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.mu.Lock()
+			p.panics++
+			p.mu.Unlock()
+			log.Printf("worker: recovered panic in %s job: %v\n%s",
+				classNames[job.class], r, debug.Stack())
+		}
+	}()
+	job.fn()
 }
 
 // next blocks until a job is available and dequeues it, or reports false
@@ -153,12 +181,17 @@ func (p *workerPool) finish(class jobClass) {
 }
 
 // trySubmit enqueues job under the given class, reporting false when
-// that class's queue is full. Must not be called after close.
+// that class's queue is full or the pool has begun closing (a job
+// admitted after the workers exit would never run — refusing lets the
+// caller answer the request instead of hanging on it).
 func (p *workerPool) trySubmit(job func(), class jobClass) bool {
 	p.mu.Lock()
 	st := &p.classes[class]
-	if len(st.queued) >= st.capacity {
+	if p.closed || len(st.queued) >= st.capacity {
 		st.rejected++
+		if !p.closed && p.saturatedSince.IsZero() {
+			p.saturatedSince = time.Now()
+		}
 		p.mu.Unlock()
 		return false
 	}
@@ -166,6 +199,37 @@ func (p *workerPool) trySubmit(job func(), class jobClass) bool {
 	p.mu.Unlock()
 	p.cond.Signal()
 	return true
+}
+
+// saturatedFor reports how long the queues have been saturated: the age
+// of the saturation mark set by the first refused submit, or zero once
+// both class queues have free slots again (the episode ends as soon as
+// backlog drains, even if no new submit arrives to observe it).
+func (p *workerPool) saturatedFor() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.saturatedSince.IsZero() {
+		return 0
+	}
+	full := false
+	for c := range p.classes {
+		if len(p.classes[c].queued) >= p.classes[c].capacity {
+			full = true
+			break
+		}
+	}
+	if !full {
+		p.saturatedSince = time.Time{}
+		return 0
+	}
+	return time.Since(p.saturatedSince)
+}
+
+// workerPanics is the number of panics the backstop recover absorbed.
+func (p *workerPool) workerPanics() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.panics
 }
 
 // close stops accepting work and blocks until every queued and in-flight

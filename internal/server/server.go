@@ -16,10 +16,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"vabuf"
@@ -56,6 +58,21 @@ type Config struct {
 	// default: the profiling endpoints expose internals and cost CPU, so
 	// they are opt-in via the vabufd -pprof flag.
 	EnablePprof bool
+	// SnapshotPath, when set, is the cache snapshot file: Close writes a
+	// final snapshot there after draining, and the -snapshot-every ticker
+	// (SnapshotEvery) refreshes it while serving. Restore-on-boot is the
+	// caller's move (RestoreSnapshot / RestoreSnapshotAsync).
+	SnapshotPath string
+	// SnapshotEvery, when positive together with SnapshotPath, writes a
+	// periodic snapshot so even a crash (no graceful drain) loses at most
+	// one interval of cache warm-up.
+	SnapshotEvery time.Duration
+	// ShedAfter is the sustained-saturation window of the shed gate: once
+	// the job queue has been saturated for this long, sweep-class work is
+	// rejected early with 503 + Retry-After and /readyz reports not-ready,
+	// while interactive work keeps its normal admission path. 0 disables
+	// shedding.
+	ShedAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -92,13 +109,22 @@ type Server struct {
 	trees  *lruCache
 	models *lruCache
 	met    *metrics
+	state  serverState
+
+	closeOnce  sync.Once
+	tickerStop chan struct{}
+	tickerDone chan struct{}
 
 	// testHookJob, when set, runs at the start of every pool job. Tests
 	// use it to hold workers busy deterministically.
 	testHookJob func()
+	// faults, when set, injects failures at instrumented points — test
+	// only, see faults.go. Production code never assigns it.
+	faults *faultHooks
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool (and, when configured,
+// the periodic snapshot writer).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -115,6 +141,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/yield:batch", s.instrument("/v1/yield:batch", s.yieldBatch))
 	s.mux.HandleFunc("GET /v1/benchmarks", s.instrument("/v1/benchmarks", s.benchmarks))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.healthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.readyz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.metricsHandler))
 	if cfg.EnablePprof {
 		// The server owns its mux, so the pprof handlers are mounted
@@ -125,24 +152,68 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	if cfg.SnapshotPath != "" && cfg.SnapshotEvery > 0 {
+		s.tickerStop = make(chan struct{})
+		s.tickerDone = make(chan struct{})
+		go s.snapshotLoop()
+	}
 	return s
+}
+
+// snapshotLoop periodically refreshes the cache snapshot until Close.
+func (s *Server) snapshotLoop() {
+	defer close(s.tickerDone)
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.SaveSnapshot(s.cfg.SnapshotPath); err != nil {
+				log.Printf("server: periodic snapshot: %v", err)
+			}
+		case <-s.tickerStop:
+			return
+		}
+	}
 }
 
 // Handler returns the root handler for an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close drains the worker pool: it blocks until every queued and
-// in-flight job has finished. Call it after http.Server.Shutdown so no
-// new jobs can arrive.
-func (s *Server) Close() { s.pool.close() }
+// StartDrain flips the server into the draining state: /readyz answers
+// 503 and every new job submission is refused with 503 + Retry-After,
+// while jobs already queued or running finish normally. Call it before
+// http.Server.Shutdown so requests racing the listener teardown get a
+// clean retry signal instead of a dropped connection.
+func (s *Server) StartDrain() { s.state.draining.Store(true) }
+
+// Close gracefully shuts the service down: it starts the drain, blocks
+// until every queued and in-flight job has finished, and — when
+// Config.SnapshotPath is set — writes a final cache snapshot so the
+// next boot starts warm. Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.StartDrain()
+		if s.tickerStop != nil {
+			close(s.tickerStop)
+			<-s.tickerDone
+		}
+		s.pool.close()
+		if s.cfg.SnapshotPath != "" {
+			if err := s.SaveSnapshot(s.cfg.SnapshotPath); err != nil {
+				log.Printf("server: final snapshot: %v", err)
+			}
+		}
+	})
+}
 
 // instrument wraps an endpoint: it records the request counter, attaches
-// Retry-After to overload responses, and writes the JSON body.
+// Retry-After to overload/unavailable responses, and writes the JSON body.
 func (s *Server) instrument(endpoint string, h func(*http.Request) (int, any)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		status, body := h(r)
 		s.met.recordRequest(endpoint, status)
-		if status == http.StatusTooManyRequests {
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -156,6 +227,8 @@ func (s *Server) instrument(endpoint string, h func(*http.Request) (int, any)) h
 // Sentinel errors of the request path.
 var (
 	errOverloaded = errors.New("server overloaded: job queue full")
+	errDraining   = errors.New("server is draining; retry against another instance")
+	errShedding   = errors.New("server is shedding sweep work under sustained overload")
 )
 
 // statusClientClosed mirrors nginx's non-standard 499 "client closed
@@ -243,53 +316,68 @@ func (s *Server) prepare(req *InsertRequest) (*preparedRun, error) {
 	return p, nil
 }
 
-// loadTree resolves the request's tree through the LRU cache: built-in
-// benchmarks by name, inline rctree text by content hash. Cached trees
-// are shared across concurrent runs — insertion never mutates them.
+// treeCacheKey is the tree-LRU key of the request's tree: built-in
+// benchmarks by name, inline rctree text by content hash. The snapshot
+// file stores these keys verbatim.
+func treeCacheKey(req *InsertRequest) string {
+	if req.Bench != "" {
+		return "bench:" + req.Bench
+	}
+	sum := sha256.Sum256([]byte(req.Tree))
+	return "text:" + hex.EncodeToString(sum[:])
+}
+
+// loadTree resolves the request's tree through the LRU cache. Cached
+// trees are shared across concurrent runs — insertion never mutates them.
 func (s *Server) loadTree(req *InsertRequest) (*vabuf.Tree, bool, error) {
-	var key string
 	var build func() (any, error)
 	if req.Bench != "" {
-		key = "bench:" + req.Bench
 		build = func() (any, error) { return vabuf.GenerateBenchmark(req.Bench) }
 	} else {
-		sum := sha256.Sum256([]byte(req.Tree))
-		key = "text:" + hex.EncodeToString(sum[:])
 		build = func() (any, error) { return vabuf.ReadTree(strings.NewReader(req.Tree)) }
 	}
-	v, hit, err := s.trees.do(key, build)
+	v, hit, err := s.trees.do(treeCacheKey(req), build)
 	if err != nil {
 		return nil, false, err
 	}
 	return v.(*vabuf.Tree), hit, nil
 }
 
+// buildModelEntry constructs a variation model from its recipe. The
+// request path and the snapshot-restore path share it, so a restored
+// model is bit-identical to one built for a live request.
+func buildModelEntry(tree *vabuf.Tree, treeKey, algo string, budget float64, hetero bool) (*modelEntry, error) {
+	cfg := vabuf.DefaultModelConfig(tree)
+	cfg.RandomFrac = budget
+	cfg.InterDieFrac = budget
+	cfg.SpatialFrac = budget
+	cfg.Heterogeneous = hetero
+	if algo == "d2d" {
+		cfg.SpatialFrac = 0
+		cfg.Heterogeneous = false
+	}
+	model, err := vabuf.NewVariationModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &modelEntry{
+		model:   model,
+		treeKey: treeKey,
+		algo:    algo,
+		budget:  budget,
+		hetero:  hetero,
+	}, nil
+}
+
 // loadModel resolves the variation model for (tree, algo, budget,
 // heterogeneity) through the LRU cache, skipping the grid and source
 // construction on a hit.
 func (s *Server) loadModel(req *InsertRequest, tree *vabuf.Tree) (*modelEntry, bool, error) {
-	treeKey := req.Bench
-	if treeKey == "" {
-		sum := sha256.Sum256([]byte(req.Tree))
-		treeKey = hex.EncodeToString(sum[:])
-	}
+	treeKey := treeCacheKey(req)
 	key := fmt.Sprintf("%s|algo=%s|budget=%g|hetero=%t",
 		treeKey, req.Algo, req.Budget, req.heterogeneous())
 	v, hit, err := s.models.do(key, func() (any, error) {
-		cfg := vabuf.DefaultModelConfig(tree)
-		cfg.RandomFrac = req.Budget
-		cfg.InterDieFrac = req.Budget
-		cfg.SpatialFrac = req.Budget
-		cfg.Heterogeneous = req.heterogeneous()
-		if req.Algo == "d2d" {
-			cfg.SpatialFrac = 0
-			cfg.Heterogeneous = false
-		}
-		model, err := vabuf.NewVariationModel(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &modelEntry{model: model}, nil
+		return buildModelEntry(tree, treeKey, req.Algo, req.Budget, req.heterogeneous())
 	})
 	if err != nil {
 		return nil, false, err
@@ -299,13 +387,31 @@ func (s *Server) loadModel(req *InsertRequest, tree *vabuf.Tree) (*modelEntry, b
 
 // execute submits fn to the pool under the given class and waits for it
 // or for the client to go away. A non-zero status reports the failure.
-func (s *Server) execute(ctx context.Context, class jobClass, fn func()) (int, error) {
+// The job runs under recover(): a panic inside fn becomes a structured
+// 500 for this request only — the worker survives and returns to the
+// pool. Submission is refused with 503 while draining, and sweep-class
+// submission with 503 while the shed gate is active.
+func (s *Server) execute(ctx context.Context, endpoint string, class jobClass, fn func()) (int, error) {
+	if s.isDraining() {
+		return http.StatusServiceUnavailable, errDraining
+	}
+	if class == classSweep && s.shedding() {
+		s.met.recordShed(endpoint)
+		return http.StatusServiceUnavailable, errShedding
+	}
 	done := make(chan struct{})
+	var panicked error
 	job := func() {
 		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = s.met.panicRecovered(endpoint, r)
+			}
+		}()
 		if s.testHookJob != nil {
 			s.testHookJob()
 		}
+		s.faultBeforeJob(endpoint)
 		fn()
 	}
 	if !s.pool.trySubmit(job, class) {
@@ -313,6 +419,9 @@ func (s *Server) execute(ctx context.Context, class jobClass, fn func()) (int, e
 	}
 	select {
 	case <-done:
+		if panicked != nil {
+			return http.StatusInternalServerError, panicked
+		}
 		return 0, nil
 	case <-ctx.Done():
 		// The job still runs to completion on its worker; the closure
@@ -442,7 +551,7 @@ func (s *Server) insert(r *http.Request) (int, any) {
 		runStatus int
 		runErr    error
 	)
-	status, err := s.execute(r.Context(), classFor(req.Priority), func() {
+	status, err := s.execute(r.Context(), "/v1/insert", classFor(req.Priority), func() {
 		out, runStatus, runErr = s.runPrepared(r.Context(), &req, p)
 	})
 	if err != nil {
@@ -471,7 +580,7 @@ func (s *Server) yield(r *http.Request) (int, any) {
 		runStatus int
 		runErr    error
 	)
-	status, err := s.execute(r.Context(), classFor(req.Priority), func() {
+	status, err := s.execute(r.Context(), "/v1/yield", classFor(req.Priority), func() {
 		out, runStatus, runErr = s.runPreparedYield(r.Context(), &req, p)
 	})
 	if err != nil {
@@ -520,5 +629,5 @@ func (s *Server) healthz(*http.Request) (int, any) {
 
 func (s *Server) metricsHandler(*http.Request) (int, any) {
 	return http.StatusOK, s.met.snapshot(s.pool, s.trees, s.models,
-		s.cfg.TreeCacheSize, s.cfg.ModelCacheSize)
+		s.cfg.TreeCacheSize, s.cfg.ModelCacheSize, s.readyState())
 }
