@@ -241,7 +241,7 @@ func BenchmarkExtensionSkew(b *testing.B) {
 }
 
 func BenchmarkMonteCarloSerial(b *testing.B) {
-	tree, model, lib, assign := mcSetup(b)
+	tree, model, lib, assign := mcSetup(b, "r1")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := vabuf.MonteCarloRAT(tree, lib, assign, model, 2000, 1); err != nil {
@@ -251,7 +251,7 @@ func BenchmarkMonteCarloSerial(b *testing.B) {
 }
 
 func BenchmarkMonteCarloParallel(b *testing.B) {
-	tree, model, lib, assign := mcSetup(b)
+	tree, model, lib, assign := mcSetup(b, "r1")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := vabuf.MonteCarloRATParallel(tree, lib, assign, model, 2000, 1, 0); err != nil {
@@ -260,9 +260,39 @@ func BenchmarkMonteCarloParallel(b *testing.B) {
 	}
 }
 
-func mcSetup(b *testing.B) (*vabuf.Tree, *vabuf.VariationModel, vabuf.Library, map[vabuf.NodeID]int) {
+// benchMCr3 pits the adaptive sampler against its own full budget on the
+// r3 buffered tree: tol > 0 stops at a 1% relative CI half-width on the
+// 5% quantile, tol = 0 burns every sample. The "samples" metric is the
+// early-stopping signal scripts/bench.sh snapshots into BENCH_core.json.
+func benchMCr3(b *testing.B, tol float64) {
+	tree, model, lib, assign := mcSetup(b, "r3")
+	const budget = 32768
+	var samples int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, est, err := vabuf.MonteCarloRATAdaptive(tree, lib, assign, model, vabuf.MCAdaptiveOptions{
+			MaxSamples: budget,
+			Seed:       1,
+			Quantile:   0.05,
+			Tol:        tol,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tol > 0 && !est.Converged {
+			b.Fatalf("no convergence to tol %g within %d samples", tol, budget)
+		}
+		samples = est.Samples
+	}
+	b.ReportMetric(float64(samples), "samples")
+}
+
+func BenchmarkMCR3Adaptive(b *testing.B) { benchMCr3(b, 0.01) }
+func BenchmarkMCR3Fixed(b *testing.B)    { benchMCr3(b, 0) }
+
+func mcSetup(b *testing.B, bench string) (*vabuf.Tree, *vabuf.VariationModel, vabuf.Library, map[vabuf.NodeID]int) {
 	b.Helper()
-	tree, err := vabuf.GenerateBenchmark("r1")
+	tree, err := vabuf.GenerateBenchmark(bench)
 	if err != nil {
 		b.Fatal(err)
 	}

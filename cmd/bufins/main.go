@@ -10,11 +10,20 @@
 //	bufins -bench r1 -json    # machine-readable, the vabufd /v1/insert DTO
 //	bufins -batch reqs.json -server http://localhost:8577
 //	                          # POST a JSON array of requests as one batch
+//	bufins -bench r3 -stream -mc 32768 -mc-tol 0.01
+//	                          # stream adaptive Monte-Carlo yield analysis
 //
 // Batch mode reads a JSON array of /v1/insert request objects (or "-"
 // for stdin), posts them to the server's /v1/insert:batch endpoint as
 // one aggregate call, and prints the aggregate response. The items run
 // under the sweep priority class, yielding to interactive requests.
+//
+// Stream mode posts a yield request to the server's /v1/yield:stream
+// endpoint and follows the NDJSON event stream: Monte-Carlo progress
+// ticks on stderr as shard-sized chunks commit, and the final result
+// prints on stdout (the full /v1/yield DTO with -json). A positive
+// -mc-tol selects the adaptive sampler, which stops once the yield
+// quantile's CI half-width falls within the tolerance.
 //
 // Algorithms: nom (deterministic van Ginneken), d2d (random + inter-die
 // variation), wid (all variation classes, the paper's algorithm). The
@@ -23,7 +32,9 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"cmp"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,7 +44,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -107,7 +118,11 @@ func run() error {
 		critN     = flag.Int("criticality", 0, "print the N most critical sinks")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON (the vabufd /v1/insert DTO)")
 		batchFile = flag.String("batch", "", `JSON array of insert requests to POST as one batch ("-" = stdin)`)
-		serverURL = flag.String("server", "http://localhost:8577", "vabufd base URL for -batch mode")
+		stream    = flag.Bool("stream", false, "stream Monte-Carlo yield analysis from the server's /v1/yield:stream")
+		mcN       = flag.Int("mc", 0, "Monte-Carlo sample budget for -stream mode")
+		mcTol     = flag.Float64("mc-tol", 0, "adaptive MC: stop once the quantile CI half-width is within this relative tolerance (0 = burn the full -mc budget)")
+		seed      = flag.Int64("seed", 0, "Monte-Carlo seed for -stream mode (0 = server default)")
+		serverURL = flag.String("server", "http://localhost:8577", "vabufd base URL for -batch and -stream modes")
 		retries   = flag.Int("retries", 4, "batch-mode retries on 429/503/transport errors (0 disables)")
 		retryBase = flag.Duration("retry-base", 250*time.Millisecond, "initial retry backoff (doubles per attempt, with jitter)")
 		retryMax  = flag.Duration("retry-max", 5*time.Second, "backoff cap; Retry-After overrides the computed delay")
@@ -131,8 +146,56 @@ func run() error {
 		if *bench != "" || *treeFile != "" {
 			return fmt.Errorf("-batch is exclusive with -bench/-tree: the batch file carries the trees")
 		}
+		if *stream {
+			return fmt.Errorf("-batch and -stream are exclusive")
+		}
 		pol := retryPolicy{retries: *retries, base: *retryBase, max: *retryMax}
 		return runBatch(*batchFile, *serverURL, pol)
+	}
+
+	if *stream {
+		switch {
+		case *mcN <= 0:
+			return fmt.Errorf("-stream needs a Monte-Carlo budget: set -mc > 0")
+		case *libFile != "":
+			return fmt.Errorf("-library is local-only; -stream runs against the server's built-in library")
+		case *critN > 0:
+			return fmt.Errorf("-criticality is local-only, not available with -stream")
+		}
+		req := server.YieldRequest{
+			InsertRequest: server.InsertRequest{
+				Bench:             *bench,
+				Algo:              *algo,
+				Rule:              *ruleName,
+				Pbar:              *pbar,
+				Budget:            *budget,
+				Heterogeneous:     hetero,
+				Quantile:          *quantile,
+				MaxCandidates:     *maxCand,
+				TimeoutMS:         timeout.Milliseconds(),
+				Parallelism:       *parallel,
+				WireSizing:        *wireSize,
+				Inverters:         *inverters,
+				IncludeAssignment: *printAsgn,
+			},
+			MonteCarlo: *mcN,
+			Seed:       *seed,
+			MCTol:      *mcTol,
+		}
+		switch {
+		case *bench != "" && *treeFile != "":
+			return fmt.Errorf("give either -bench or -tree, not both")
+		case *treeFile != "":
+			raw, err := os.ReadFile(*treeFile)
+			if err != nil {
+				return err
+			}
+			req.Tree = string(raw)
+		case *bench == "":
+			return fmt.Errorf("one of -bench or -tree is required")
+		}
+		pol := retryPolicy{retries: *retries, base: *retryBase, max: *retryMax}
+		return runStream(req, *serverURL, pol, *jsonOut)
 	}
 
 	if err := server.CheckUnitInterval("-pbar", *pbar); err != nil {
@@ -241,7 +304,7 @@ func run() error {
 		for id := range res.Assignment {
 			ids = append(ids, id)
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		slices.Sort(ids)
 		for _, id := range ids {
 			n := tree.Node(id)
 			fmt.Printf("  node %-6d %-8s at %s -> %s\n", id, n.Kind, n.Loc, lib[res.Assignment[id]].Name)
@@ -260,7 +323,7 @@ func run() error {
 		for id, p := range crit {
 			es = append(es, entry{id, p})
 		}
-		sort.Slice(es, func(i, j int) bool { return es[i].p > es[j].p })
+		slices.SortFunc(es, func(a, b entry) int { return cmp.Compare(b.p, a.p) })
 		fmt.Println("most critical sinks:")
 		for i := 0; i < *critN && i < len(es); i++ {
 			n := tree.Node(es[i].id)
@@ -377,6 +440,81 @@ func runBatch(file, baseURL string, pol retryPolicy) error {
 	}
 	fmt.Fprintf(os.Stderr, "bufins: batch of %d: %d succeeded, %d failed\n",
 		len(out.Items), out.Succeeded, out.Errors)
+	return nil
+}
+
+// runStream posts the yield request to /v1/yield:stream and follows the
+// NDJSON event stream: progress events tick on stderr, the final result
+// prints on stdout (the full /v1/yield DTO with -json), and an error
+// event carries the status the plain endpoint would have answered.
+func runStream(req server.YieldRequest, baseURL string, pol retryPolicy, jsonOut bool) error {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := postWithRetry(strings.TrimRight(baseURL, "/")+"/v1/yield:stream", payload, pol)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		var e server.ErrorResult
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("stream request answered %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("stream request answered %s", resp.Status)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	var result *server.YieldResult
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev server.StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("parsing stream event: %w", err)
+		}
+		switch ev.Type {
+		case "progress":
+			if p := ev.Progress; p != nil {
+				fmt.Fprintf(os.Stderr, "bufins: mc %7d samples  quantile RAT %9.2f ps  ±%.2f ps\n",
+					p.Samples, p.QuantileRAT, p.CIHalfWidthPS)
+			}
+		case "result":
+			result = ev.Result
+		case "error":
+			return fmt.Errorf("server: %s (status %d)", ev.Error, ev.Status)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if result == nil {
+		return fmt.Errorf("stream ended without a result event")
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(result)
+	}
+	ins := result.Insert
+	fmt.Printf("insert: %d buffers on %d sinks, objective %.2f ps (%.3fs server-side)\n",
+		ins.NumBuffers, ins.Sinks, ins.ObjectivePS, ins.ElapsedMS/1000)
+	fmt.Printf("yield:  mean %.2f ps, sigma %.2f ps, yield RAT %.2f ps (analytic)\n",
+		result.MeanPS, result.SigmaPS, result.YieldRATPS)
+	if mc := result.MonteCarlo; mc != nil {
+		state := "budget exhausted"
+		if mc.Converged {
+			state = "converged"
+		}
+		fmt.Printf("mc:     %d samples (%s), mean %.2f ps, sigma %.2f ps, quantile RAT %.2f ps ±%.2f ps\n",
+			mc.Samples, state, mc.MeanPS, mc.SigmaPS, mc.QuantileRAT, mc.CIHalfWidthPS)
+	}
 	return nil
 }
 

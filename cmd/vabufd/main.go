@@ -9,6 +9,8 @@
 //	POST /v1/insert:batch up to -max-batch insertions as one aggregate call
 //	POST /v1/yield        insertion + yield analysis, optional Monte Carlo
 //	POST /v1/yield:batch  batched yield runs
+//	POST /v1/yield:stream insertion + adaptive Monte Carlo streamed as
+//	                      newline-delimited JSON progress events and a final result
 //	GET  /v1/benchmarks   list the built-in Table 1 benchmark names
 //	GET  /healthz         liveness probe (200 while the process is up)
 //	GET  /readyz          readiness probe (503 while draining, restoring a
@@ -51,10 +53,12 @@ func main() {
 		sweepQueue = flag.Int("sweep-queue", 256, "sweep-class (batch) job-queue depth")
 		sweepEvery = flag.Int("sweep-every", 4,
 			"class weight: every Nth dispatch prefers the sweep queue (starvation guard; 1 disables)")
-		maxBatch   = flag.Int("max-batch", 256, "max items per batch request")
-		treeCache  = flag.Int("tree-cache", 32, "parsed/generated tree LRU entries")
-		modelCache = flag.Int("model-cache", 32, "variation-model LRU entries")
-		timeout    = flag.Duration("timeout", 2*time.Minute,
+		maxBatch    = flag.Int("max-batch", 256, "max items per batch request")
+		treeCache   = flag.Int("tree-cache", 32, "parsed/generated tree LRU entries")
+		modelCache  = flag.Int("model-cache", 32, "variation-model LRU entries")
+		resultCache = flag.Int("result-cache", 128,
+			"content-addressed result-cache entries; repeats of a completed insert/yield request answer from memory (0 disables)")
+		timeout = flag.Duration("timeout", 2*time.Minute,
 			"default per-request insertion deadline (0 = none)")
 		maxBody     = flag.Int64("max-body", 8<<20, "request body limit in bytes")
 		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
@@ -67,6 +71,10 @@ func main() {
 	)
 	flag.Parse()
 
+	resultCacheSize := *resultCache
+	if resultCacheSize == 0 {
+		resultCacheSize = -1 // flag 0 = off; Config 0 = default, negative = off
+	}
 	srv := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -75,6 +83,7 @@ func main() {
 		MaxBatchItems:   *maxBatch,
 		TreeCacheSize:   *treeCache,
 		ModelCacheSize:  *modelCache,
+		ResultCacheSize: resultCacheSize,
 		DefaultTimeout:  *timeout,
 		MaxRequestBytes: *maxBody,
 		EnablePprof:     *enablePprof,
@@ -91,8 +100,8 @@ func main() {
 					log.Printf("vabufd: snapshot restore: %v (serving cold)", err)
 					return
 				}
-				log.Printf("vabufd: snapshot restored: %d trees, %d models, %d skipped",
-					stats.Trees, stats.Models, stats.Skipped)
+				log.Printf("vabufd: snapshot restored: %d trees, %d models, %d results, %d skipped",
+					stats.Trees, stats.Models, stats.Results, stats.Skipped)
 			})
 		} else if !errors.Is(err, os.ErrNotExist) {
 			log.Printf("vabufd: snapshot %s unreadable: %v (serving cold)", *snapshot, err)

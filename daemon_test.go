@@ -134,6 +134,10 @@ func TestVabufdKillAndRestart(t *testing.T) {
 
 	cmd2, url2 := startVabufd(t, bin, "-snapshot", snap)
 	waitReady(t, url2)
+	// A quantile-distinct request misses the restored result cache (the
+	// seed request's exact bytes would be answered from it verbatim) but
+	// still resolves its tree and model through the restored LRUs.
+	req["quantile"] = 0.25
 	status, res = postInsert(t, url2, req)
 	if status != http.StatusOK {
 		t.Fatalf("post-restart request status %d: %v", status, res)

@@ -7,12 +7,13 @@
 package main
 
 import (
+	"cmp"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"vabuf"
 	"vabuf/internal/variation"
@@ -72,8 +73,8 @@ func main() {
 	// Endpoint criticalities.
 	fmt.Println("endpoint criticalities:")
 	outs := g.Outputs()
-	sort.Slice(outs, func(i, j int) bool {
-		return res.EndpointCriticality[outs[i]] > res.EndpointCriticality[outs[j]]
+	slices.SortFunc(outs, func(a, b vabuf.TimingPin) int {
+		return cmp.Compare(res.EndpointCriticality[b], res.EndpointCriticality[a])
 	})
 	for _, o := range outs[:min(4, len(outs))] {
 		fmt.Printf("  %-8s %.1f%%\n", g.Pin(o).Name, 100*res.EndpointCriticality[o])
@@ -95,13 +96,13 @@ func main() {
 		}
 		crit[s] = worstS
 	}
-	sort.Float64s(crit)
+	slices.Sort(crit)
 	fmt.Println("\nclock period ->  analytic yield | Monte-Carlo yield")
 	mean := worst.Mean()
 	for _, f := range []float64{0.95, 1.0, 1.05, 1.10} {
 		period := mean * f
 		analytic := yieldAt(worst, space, period)
-		met := sort.SearchFloat64s(crit, period)
+		met, _ := slices.BinarySearch(crit, period)
 		mcYield := float64(met) / float64(len(crit))
 		fmt.Printf("  %7.1f ps   ->  %6.1f%%        | %6.1f%%\n",
 			period, 100*analytic, 100*mcYield)

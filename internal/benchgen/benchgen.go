@@ -9,10 +9,11 @@
 package benchgen
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"vabuf/internal/geom"
 	"vabuf/internal/rctree"
@@ -142,9 +143,9 @@ func Random(spec Spec) (*rctree.Tree, error) {
 		}
 		bb := geom.BoundingBox(locs)
 		if bb.Width() >= bb.Height() {
-			sort.Slice(ps, func(i, j int) bool { return ps[i].loc.X < ps[j].loc.X })
+			slices.SortFunc(ps, func(a, b sinkPt) int { return cmp.Compare(a.loc.X, b.loc.X) })
 		} else {
-			sort.Slice(ps, func(i, j int) bool { return ps[i].loc.Y < ps[j].loc.Y })
+			slices.SortFunc(ps, func(a, b sinkPt) int { return cmp.Compare(a.loc.Y, b.loc.Y) })
 		}
 		mid := len(ps) / 2
 		loc := centroid(ps)

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"context"
-	"sort"
+	"slices"
 	"time"
 
 	"vabuf/internal/stats"
@@ -67,11 +68,13 @@ func (p *pruner) needSigmas() bool {
 // descending mean RAT so that the sweep keeps the better-T candidate of a
 // tie first.
 func sortByMean(list []*Candidate) {
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].L.Nominal != list[j].L.Nominal {
-			return list[i].L.Nominal < list[j].L.Nominal
+	// slices.SortFunc avoids the reflection overhead of sort.Slice — this
+	// runs once per merge/prune and shows up in DP profiles.
+	slices.SortFunc(list, func(a, b *Candidate) int {
+		if c := cmp.Compare(a.L.Nominal, b.L.Nominal); c != 0 {
+			return c
 		}
-		return list[i].T.Nominal > list[j].T.Nominal
+		return cmp.Compare(b.T.Nominal, a.T.Nominal)
 	})
 }
 

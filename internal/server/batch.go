@@ -95,6 +95,12 @@ func (s *Server) insertBatch(r *http.Request) (int, any) {
 	out := BatchInsertResult{Items: make([]BatchItemResult, len(breq.Items))}
 	var wg sync.WaitGroup
 	enqueued, overloaded, shed := 0, 0, 0
+	// Fingerprint-level dedupe: identical items run once, duplicates
+	// adopt the leader's result after the pool drains; items whose
+	// result is already cached never reach the queue at all.
+	leaders := make(map[string]int)  // fingerprint -> leader item index
+	dupOf := make(map[int]int)       // duplicate item index -> leader index
+	leaderFP := make(map[int]string) // enqueued leader index -> fingerprint
 	for i := range breq.Items {
 		item := &out.Items[i]
 		item.Index = i
@@ -104,6 +110,17 @@ func (s *Server) insertBatch(r *http.Request) (int, any) {
 			item.Status, item.Error = http.StatusBadRequest, err.Error()
 			continue
 		}
+		fp := req.Fingerprint()
+		if v, ok := s.resultGet(fp); ok {
+			item.Status, item.Result = http.StatusOK, v.(*InsertResult)
+			continue
+		}
+		if li, ok := leaders[fp]; ok {
+			dupOf[i] = li
+			s.met.recordCoalesced("/v1/insert:batch")
+			continue
+		}
+		leaders[fp] = i
 		// prepare runs on the handler goroutine: the LRU caches build
 		// each distinct tree/model once, and identical later items hit.
 		p, err := s.prepare(&req)
@@ -111,6 +128,7 @@ func (s *Server) insertBatch(r *http.Request) (int, any) {
 			item.Status, item.Error = http.StatusBadRequest, err.Error()
 			continue
 		}
+		leaderFP[i] = fp
 		wg.Add(1)
 		res := s.submitBatchItem("/v1/insert:batch", &wg, func() {
 			res, st, err := s.runPrepared(r.Context(), &req, p)
@@ -140,6 +158,16 @@ func (s *Server) insertBatch(r *http.Request) (int, any) {
 	// is the only synchronization the aggregate needs. Abandoned clients
 	// cancel the runs through r.Context(); the jobs still finish fast.
 	wg.Wait()
+	for i, fp := range leaderFP {
+		if out.Items[i].Status == http.StatusOK {
+			s.resultStore(fp, out.Items[i].Result)
+		}
+	}
+	for i, li := range dupOf {
+		out.Items[i].Status = out.Items[li].Status
+		out.Items[i].Result = out.Items[li].Result
+		out.Items[i].Error = out.Items[li].Error
+	}
 	for i := range out.Items {
 		if out.Items[i].Status == http.StatusOK {
 			out.Succeeded++
@@ -164,6 +192,9 @@ func (s *Server) yieldBatch(r *http.Request) (int, any) {
 	out := BatchYieldResult{Items: make([]BatchYieldItemResult, len(breq.Items))}
 	var wg sync.WaitGroup
 	enqueued, overloaded, shed := 0, 0, 0
+	leaders := make(map[string]int)  // fingerprint -> leader item index
+	dupOf := make(map[int]int)       // duplicate item index -> leader index
+	leaderFP := make(map[int]string) // enqueued leader index -> fingerprint
 	for i := range breq.Items {
 		item := &out.Items[i]
 		item.Index = i
@@ -173,14 +204,26 @@ func (s *Server) yieldBatch(r *http.Request) (int, any) {
 			item.Status, item.Error = http.StatusBadRequest, err.Error()
 			continue
 		}
+		fp := req.Fingerprint()
+		if v, ok := s.resultGet(fp); ok {
+			item.Status, item.Result = http.StatusOK, v.(*YieldResult)
+			continue
+		}
+		if li, ok := leaders[fp]; ok {
+			dupOf[i] = li
+			s.met.recordCoalesced("/v1/yield:batch")
+			continue
+		}
+		leaders[fp] = i
 		p, err := s.prepare(&req.InsertRequest)
 		if err != nil {
 			item.Status, item.Error = http.StatusBadRequest, err.Error()
 			continue
 		}
+		leaderFP[i] = fp
 		wg.Add(1)
 		res := s.submitBatchItem("/v1/yield:batch", &wg, func() {
-			res, st, err := s.runPreparedYield(r.Context(), &req, p)
+			res, st, err := s.runPreparedYield(r.Context(), &req, p, nil)
 			if err != nil {
 				item.Status, item.Error = st, err.Error()
 				return
@@ -204,6 +247,16 @@ func (s *Server) yieldBatch(r *http.Request) (int, any) {
 		enqueued++
 	}
 	wg.Wait()
+	for i, fp := range leaderFP {
+		if out.Items[i].Status == http.StatusOK {
+			s.resultStore(fp, out.Items[i].Result)
+		}
+	}
+	for i, li := range dupOf {
+		out.Items[i].Status = out.Items[li].Status
+		out.Items[i].Result = out.Items[li].Result
+		out.Items[i].Error = out.Items[li].Error
+	}
 	for i := range out.Items {
 		if out.Items[i].Status == http.StatusOK {
 			out.Succeeded++

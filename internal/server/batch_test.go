@@ -75,8 +75,15 @@ func TestBatchInsertMixedWithPartialFailure(t *testing.T) {
 
 func TestBatchInsertCacheHitsAcrossIdenticalItems(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2})
-	req := InsertRequest{Tree: smallTreeText(t), Algo: "wid"}
-	items := []InsertRequest{req, req, req, req}
+	// The items share one tree and one model but differ in quantile, so
+	// they fingerprint-distinctly (no dedupe) and each runs its own DP —
+	// exercising the tree/model LRUs, not the result cache.
+	base := InsertRequest{Tree: smallTreeText(t), Algo: "wid"}
+	items := make([]InsertRequest, 4)
+	for i := range items {
+		items[i] = base
+		items[i].Quantile = 0.05 + 0.05*float64(i)
+	}
 
 	resp, raw := postJSON(t, ts.URL+"/v1/insert:batch", BatchInsertRequest{Items: items})
 	if resp.StatusCode != http.StatusOK {
@@ -209,11 +216,18 @@ func TestInteractiveBeatsQueuedBatch(t *testing.T) {
 		status int
 		raw    []byte
 	}
+	// Distinct quantiles keep the three items (and the interactive probe,
+	// which uses the 0.05 default) fingerprint-distinct, so nothing
+	// coalesces and all three items really occupy the sweep queue.
+	items := make([]InsertRequest, 3)
+	for i := range items {
+		items[i].Quantile = 0.1 + 0.05*float64(i)
+	}
 	batchDone := make(chan reply, 1)
 	go func() {
 		resp, raw := postJSON(t, ts.URL+"/v1/insert:batch", BatchInsertRequest{
 			Defaults: &InsertRequest{Tree: treeText, Algo: "nom"},
-			Items:    make([]InsertRequest, 3),
+			Items:    items,
 		})
 		batchDone <- reply{resp.StatusCode, raw}
 	}()

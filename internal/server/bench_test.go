@@ -1,0 +1,47 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// Serve-path memoization benchmarks. Cold disables the result cache, so
+// every iteration of the identical request runs the full DP (the tree and
+// model LRUs stay warm — the result cache is the only knob under test).
+// Warm answers from the content-addressed cache. Their ratio is the
+// memoization win scripts/bench.sh snapshots (acceptance: >= 10x).
+func benchServeInsert(b *testing.B, resultCacheSize int) {
+	s := New(Config{Workers: 2, ResultCacheSize: resultCacheSize})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	payload, err := json.Marshal(InsertRequest{Bench: "r3", Algo: "wid"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func() {
+		resp, err := http.Post(ts.URL+"/v1/insert", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	post() // warm the tree/model LRUs and, when enabled, the result cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+}
+
+func BenchmarkServeInsertCold(b *testing.B) { benchServeInsert(b, -1) }
+func BenchmarkServeInsertWarm(b *testing.B) { benchServeInsert(b, 128) }

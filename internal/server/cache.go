@@ -100,6 +100,26 @@ func (c *lruCache) add(key string, val any) {
 	}
 }
 
+// get returns the finished value for key, counting a hit or miss and
+// refreshing recency — the read path of the result cache, whose values
+// are stored with add (never built in place like do's slots).
+func (c *lruCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	el, ok := c.slots[key]
+	if ok {
+		slot := el.Value.(*cacheSlot)
+		if slot.ready.Load() && slot.err == nil {
+			c.order.MoveToFront(el)
+			c.hits.Add(1)
+			c.mu.Unlock()
+			return slot.val, true
+		}
+	}
+	c.misses.Add(1)
+	c.mu.Unlock()
+	return nil, false
+}
+
 // peek returns the finished value for key without counting a hit or
 // reordering the LRU. It reports false for absent or still-building slots.
 func (c *lruCache) peek(key string) (any, bool) {
@@ -145,6 +165,75 @@ func (c *lruCache) stats() (hits, misses int64, size int) {
 	size = c.order.Len()
 	c.mu.Unlock()
 	return c.hits.Load(), c.misses.Load(), size
+}
+
+// flight is one in-flight computation of the request-coalescing
+// registry. The leader publishes its outcome through finish; waiters
+// block on done and then read status/val without further locking.
+type flight struct {
+	done    chan struct{}
+	waiters int // requests coalesced onto this flight (excluding the leader)
+	status  int // HTTP status of the leader's outcome
+	val     any // response body when status is 200
+}
+
+// flightGroup is a singleflight registry keyed by result fingerprint:
+// while a request with some fingerprint is running, concurrent
+// identical requests join its flight instead of submitting their own
+// pool job — they consume no worker slot and adopt the leader's
+// successful response verbatim. Only successes are adopted: when a
+// leader fails (or its client walks away mid-run), each waiter retries
+// the full path itself, so an error — retryable by nature — is never
+// fanned out beyond the requests that truly shared the failing run.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// join enters the flight for key, creating it when absent. The creator
+// is the leader (must call finish exactly once); everyone else is a
+// waiter and must block on f.done.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	if f, ok := g.flights[key]; ok {
+		f.waiters++
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome and retires the flight, so a
+// request arriving after this instant starts a fresh one.
+func (g *flightGroup) finish(key string, f *flight, status int, val any) {
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	f.status, f.val = status, val
+	close(f.done)
+}
+
+// waiters reports the current waiter count of key's flight (0 when no
+// flight is active) — test and metrics introspection only.
+func (g *flightGroup) waitersOf(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[key]; ok {
+		return f.waiters
+	}
+	return 0
+}
+
+// inflight reports the number of active flights.
+func (g *flightGroup) inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
 }
 
 // modelEntry pairs a cached variation model with a mutex serializing the

@@ -5,7 +5,7 @@ package server
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -68,6 +68,12 @@ type YieldRequest struct {
 	MonteCarlo int `json:"monte_carlo,omitempty"`
 	// Seed seeds the Monte-Carlo sampler (default 1).
 	Seed int64 `json:"seed,omitempty"`
+	// MCTol, when positive, selects the adaptive (early-stopping)
+	// sampler: sampling proceeds in deterministic shard-sized chunks and
+	// stops once the CI half-width of the yield quantile falls within
+	// MCTol (relative), or at the MonteCarlo cap. The samples are a
+	// prefix of the sharded (parallelism > 1) stream for the same seed.
+	MCTol float64 `json:"mc_tol,omitempty"`
 }
 
 // BatchInsertRequest is the body of POST /v1/insert:batch: up to
@@ -170,12 +176,18 @@ type InsertResult struct {
 	Assignment      []AssignmentEntry `json:"assignment,omitempty"`
 }
 
-// MonteCarloDTO summarizes a Monte-Carlo validation run.
+// MonteCarloDTO summarizes a Monte-Carlo validation run. The CI fields
+// are present only on adaptive (mc_tol > 0) and streamed runs.
 type MonteCarloDTO struct {
 	Samples     int     `json:"samples"`
 	MeanPS      float64 `json:"mean_ps"`
 	SigmaPS     float64 `json:"sigma_ps"`
 	QuantileRAT float64 `json:"quantile_rat_ps"`
+	// CIHalfWidthPS is the half-width of the distribution-free 95% CI of
+	// the quantile estimate; Converged reports whether the adaptive
+	// stopping rule fired before the sample cap.
+	CIHalfWidthPS float64 `json:"ci_half_width_ps,omitempty"`
+	Converged     bool    `json:"converged,omitempty"`
 }
 
 // YieldResult is the response of POST /v1/yield.
@@ -280,6 +292,12 @@ func (r *YieldRequest) normalize() error {
 	if r.Seed == 0 {
 		r.Seed = 1
 	}
+	if r.MCTol < 0 || r.MCTol >= 1 {
+		return fmt.Errorf("mc_tol must be in [0, 1), got %g", r.MCTol)
+	}
+	if r.MCTol > 0 && r.MonteCarlo == 0 {
+		return fmt.Errorf("mc_tol requires monte_carlo > 0 (the sample cap)")
+	}
 	return nil
 }
 
@@ -346,6 +364,9 @@ func (r *YieldRequest) applyDefaults(d *YieldRequest) {
 	}
 	if r.Seed == 0 {
 		r.Seed = d.Seed
+	}
+	if r.MCTol == 0 {
+		r.MCTol = d.MCTol
 	}
 }
 
@@ -421,6 +442,6 @@ func sortedNodeIDs(m map[vabuf.NodeID]int) []vabuf.NodeID {
 	for id := range m {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }

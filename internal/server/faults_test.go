@@ -230,7 +230,9 @@ func TestSheddingRejectsSweepKeepsInteractive(t *testing.T) {
 	time.Sleep(2 * s.cfg.ShedAfter) // age the saturation episode past the window
 
 	// Sweep-class work is now shed with 503 before touching the queue...
-	sweep := InsertRequest{Bench: "p1", Algo: "nom", Priority: "sweep"}
+	// (Priority is not part of the fingerprint, so a distinct quantile
+	// keeps the probe from coalescing onto the held identical request.)
+	sweep := InsertRequest{Bench: "p1", Algo: "nom", Priority: "sweep", Quantile: 0.15}
 	resp, raw := postJSON(t, ts.URL+"/v1/insert", sweep)
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("shed sweep status = %d, want 503: %s", resp.StatusCode, raw)
@@ -244,8 +246,9 @@ func TestSheddingRejectsSweepKeepsInteractive(t *testing.T) {
 		t.Errorf("shed batch status = %d, want 503", resp.StatusCode)
 	}
 	// ...while interactive work keeps its normal admission path (the full
-	// queue answers 429, not the shed gate's 503).
-	resp, _ = postJSON(t, ts.URL+"/v1/insert", InsertRequest{Bench: "p1", Algo: "nom"})
+	// queue answers 429, not the shed gate's 503). Again quantile-distinct
+	// from the held request so it reaches the queue instead of coalescing.
+	resp, _ = postJSON(t, ts.URL+"/v1/insert", InsertRequest{Bench: "p1", Algo: "nom", Quantile: 0.25})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("interactive status under shed = %d, want 429", resp.StatusCode)
 	}

@@ -1,0 +1,74 @@
+package server
+
+// Content-addressed result fingerprints. A fingerprint identifies the
+// *outcome* of a request, not its spelling: it is computed over the
+// normalized request (defaults filled, rule lowercased), trees are
+// addressed by cache key (benchmarks by name, inline text by content
+// hash), and fields that cannot change the response bytes are excluded —
+// timeout_ms only caps the run, priority only schedules it, and the DP
+// engine returns identical results for every parallelism. Two requests
+// with equal fingerprints are therefore interchangeable: the result
+// cache answers the second from memory, and the in-flight registry
+// coalesces concurrent ones onto a single worker.
+//
+// Yield fingerprints do include the sampler identity: monte_carlo,
+// seed, mc_tol, and whether the sharded stream was selected
+// (parallelism > 1), because those change the sample vector and with it
+// the reported quantiles.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// fingerprintVersion is folded into every fingerprint so a change to the
+// inclusion set can never serve a stale cached result after an upgrade.
+const fingerprintVersion = "fp1"
+
+// writeFingerprint streams the output-affecting fields of a normalized
+// insert request. kind separates the insert and yield result spaces.
+func (r *InsertRequest) writeFingerprint(w io.Writer, kind string) {
+	fmt.Fprintf(w,
+		"%s\x00%s\x00tree=%s\x00algo=%s\x00rule=%s\x00pbar=%g\x00budget=%g\x00hetero=%t\x00q=%g\x00maxcand=%d\x00ws=%t\x00inv=%t\x00assign=%t",
+		fingerprintVersion, kind, treeCacheKey(r), r.Algo, r.Rule, r.Pbar,
+		r.Budget, r.heterogeneous(), r.Quantile, r.MaxCandidates,
+		r.WireSizing, r.Inverters, r.IncludeAssignment)
+}
+
+// Fingerprint returns the content-addressed result-cache key of a
+// normalized insert request. Call it only after normalize() — the
+// normalization is what makes semantically-equal spellings hash equal.
+func (r *InsertRequest) Fingerprint() string {
+	h := sha256.New()
+	r.writeFingerprint(h, "insert")
+	return "ins:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// mcSampler names the Monte-Carlo sampler a normalized yield request
+// selects; distinct samplers produce distinct streams, so the name is
+// part of the fingerprint.
+func (r *YieldRequest) mcSampler() string {
+	switch {
+	case r.MonteCarlo <= 0:
+		return "none"
+	case r.MCTol > 0:
+		return "adaptive"
+	case r.Parallelism > 1:
+		return "sharded"
+	default:
+		return "serial"
+	}
+}
+
+// Fingerprint returns the content-addressed result-cache key of a
+// normalized yield request: the insert fingerprint fields plus the
+// Monte-Carlo recipe.
+func (r *YieldRequest) Fingerprint() string {
+	h := sha256.New()
+	r.InsertRequest.writeFingerprint(h, "yield")
+	fmt.Fprintf(h, "\x00mc=%d\x00seed=%d\x00sampler=%s\x00tol=%g",
+		r.MonteCarlo, r.Seed, r.mcSampler(), r.MCTol)
+	return "yld:" + hex.EncodeToString(h.Sum(nil))
+}

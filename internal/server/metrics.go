@@ -65,11 +65,12 @@ type pruneTotals struct {
 
 // snapshotCounters tracks the cache snapshot/warm-restart machinery.
 type snapshotCounters struct {
-	restoredTrees  int64
-	restoredModels int64
-	skipped        int64 // corrupt/unrecoverable entries dropped on restore
-	saves          int64
-	saveErrors     int64
+	restoredTrees   int64
+	restoredModels  int64
+	restoredResults int64
+	skipped         int64 // corrupt/unrecoverable entries dropped on restore
+	saves           int64
+	saveErrors      int64
 }
 
 // metrics is the expvar-style registry behind GET /metrics.
@@ -82,17 +83,30 @@ type metrics struct {
 	prune    pruneTotals
 	panics   map[string]int64 // endpoint -> panics recovered in its jobs
 	shed     map[string]int64 // endpoint -> sweep submissions shed early
-	snap     snapshotCounters
+	// coalesced counts requests answered by joining an identical
+	// in-flight request (single-flight waiters), per endpoint. Batch
+	// endpoints count intra-batch duplicate items here too.
+	coalesced map[string]int64
+	snap      snapshotCounters
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		start:    time.Now(),
-		requests: make(map[string]map[string]int64),
-		latency:  make(map[string]*histogram),
-		panics:   make(map[string]int64),
-		shed:     make(map[string]int64),
+		start:     time.Now(),
+		requests:  make(map[string]map[string]int64),
+		latency:   make(map[string]*histogram),
+		panics:    make(map[string]int64),
+		shed:      make(map[string]int64),
+		coalesced: make(map[string]int64),
 	}
+}
+
+// recordCoalesced counts a request (or batch item) answered by an
+// identical in-flight or sibling computation instead of its own run.
+func (m *metrics) recordCoalesced(endpoint string) {
+	m.mu.Lock()
+	m.coalesced[endpoint]++
+	m.mu.Unlock()
 }
 
 // panicRecovered records a panic recovered inside a pool job submitted
@@ -131,6 +145,7 @@ func (m *metrics) recordSnapshotRestore(stats RestoreStats) {
 	defer m.mu.Unlock()
 	m.snap.restoredTrees += int64(stats.Trees)
 	m.snap.restoredModels += int64(stats.Models)
+	m.snap.restoredResults += int64(stats.Results)
 	m.snap.skipped += int64(stats.Skipped)
 }
 
@@ -186,10 +201,11 @@ func cacheSnapshot(c *lruCache, capacity int) map[string]any {
 	}
 }
 
-// snapshot assembles the full /metrics document. state is the current
-// readiness reason (see Server.readyState).
-func (m *metrics) snapshot(pool *workerPool, trees, models *lruCache,
-	treeCap, modelCap int, state string) map[string]any {
+// snapshot assembles the full /metrics document. results may be nil
+// (result cache disabled); state is the current readiness reason (see
+// Server.readyState).
+func (m *metrics) snapshot(pool *workerPool, trees, models, results *lruCache,
+	treeCap, modelCap, resultCap, inflight int, state string) map[string]any {
 	m.mu.Lock()
 	requests := make(map[string]map[string]int64, len(m.requests))
 	for ep, byStatus := range m.requests {
@@ -211,12 +227,17 @@ func (m *metrics) snapshot(pool *workerPool, trees, models *lruCache,
 	for ep, n := range m.shed {
 		shed[ep] = n
 	}
+	coalesced := make(map[string]int64, len(m.coalesced))
+	for ep, n := range m.coalesced {
+		coalesced[ep] = n
+	}
 	snap := map[string]any{
-		"restored_trees":  m.snap.restoredTrees,
-		"restored_models": m.snap.restoredModels,
-		"skipped":         m.snap.skipped,
-		"saves":           m.snap.saves,
-		"save_errors":     m.snap.saveErrors,
+		"restored_trees":   m.snap.restoredTrees,
+		"restored_models":  m.snap.restoredModels,
+		"restored_results": m.snap.restoredResults,
+		"skipped":          m.snap.skipped,
+		"saves":            m.snap.saves,
+		"save_errors":      m.snap.saveErrors,
 	}
 	prune := map[string]any{
 		"runs":             m.prune.runs,
@@ -232,7 +253,7 @@ func (m *metrics) snapshot(pool *workerPool, trees, models *lruCache,
 	}
 	m.mu.Unlock()
 
-	return map[string]any{
+	doc := map[string]any{
 		"uptime_seconds": time.Since(m.start).Seconds(),
 		"state":          state,
 		"requests":       requests,
@@ -259,10 +280,22 @@ func (m *metrics) snapshot(pool *workerPool, trees, models *lruCache,
 			"worker_panics": pool.workerPanics(),
 			"classes":       pool.classSnapshot(),
 		},
-		"caches": map[string]any{
-			"tree":  cacheSnapshot(trees, treeCap),
-			"model": cacheSnapshot(models, modelCap),
-		},
 		"pruning": prune,
 	}
+	caches := map[string]any{
+		"tree":  cacheSnapshot(trees, treeCap),
+		"model": cacheSnapshot(models, modelCap),
+	}
+	if results != nil {
+		caches["result"] = cacheSnapshot(results, resultCap)
+	}
+	doc["caches"] = caches
+	// coalesced counts requests answered by an identical in-flight or
+	// intra-batch sibling computation; inflight is the current number of
+	// active single-flight leaders.
+	doc["coalescing"] = map[string]any{
+		"coalesced": coalesced,
+		"inflight":  inflight,
+	}
+	return doc
 }

@@ -49,6 +49,12 @@ type Config struct {
 	// (entries); <=0 selects 32.
 	TreeCacheSize  int
 	ModelCacheSize int
+	// ResultCacheSize bounds the content-addressed result cache
+	// (entries): completed /v1/insert and /v1/yield responses keyed by
+	// request fingerprint, answered from memory on an exact repeat.
+	// 0 selects 128; negative disables the cache (request coalescing
+	// stays on — it needs no storage).
+	ResultCacheSize int
 	// DefaultTimeout caps runs whose request omits timeout_ms; 0 means
 	// no server-side deadline.
 	DefaultTimeout time.Duration
@@ -94,6 +100,9 @@ func (c Config) withDefaults() Config {
 	if c.ModelCacheSize <= 0 {
 		c.ModelCacheSize = 32
 	}
+	if c.ResultCacheSize == 0 {
+		c.ResultCacheSize = 128
+	}
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = 8 << 20
 	}
@@ -108,8 +117,12 @@ type Server struct {
 	pool   *workerPool
 	trees  *lruCache
 	models *lruCache
-	met    *metrics
-	state  serverState
+	// results is the content-addressed result cache (nil when disabled);
+	// flights coalesces concurrent identical requests onto one job.
+	results *lruCache
+	flights flightGroup
+	met     *metrics
+	state   serverState
 
 	closeOnce  sync.Once
 	tickerStop chan struct{}
@@ -135,9 +148,13 @@ func New(cfg Config) *Server {
 		models: newLRU(cfg.ModelCacheSize),
 		met:    newMetrics(),
 	}
+	if cfg.ResultCacheSize > 0 {
+		s.results = newLRU(cfg.ResultCacheSize)
+	}
 	s.mux.HandleFunc("POST /v1/insert", s.instrument("/v1/insert", s.insert))
 	s.mux.HandleFunc("POST /v1/insert:batch", s.instrument("/v1/insert:batch", s.insertBatch))
 	s.mux.HandleFunc("POST /v1/yield", s.instrument("/v1/yield", s.yield))
+	s.mux.HandleFunc("POST /v1/yield:stream", s.yieldStream)
 	s.mux.HandleFunc("POST /v1/yield:batch", s.instrument("/v1/yield:batch", s.yieldBatch))
 	s.mux.HandleFunc("GET /v1/benchmarks", s.instrument("/v1/benchmarks", s.benchmarks))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.healthz))
@@ -478,10 +495,11 @@ func (s *Server) runPrepared(ctx context.Context, req *InsertRequest,
 }
 
 // runPreparedYield is runPrepared plus yield analysis and optional
-// Monte-Carlo validation — the shared item body of /v1/yield and each
-// /v1/yield:batch item.
+// Monte-Carlo validation — the shared item body of /v1/yield, each
+// /v1/yield:batch item, and /v1/yield:stream. onEstimate, when non-nil,
+// receives adaptive-sampler progress (streaming only).
 func (s *Server) runPreparedYield(ctx context.Context, req *YieldRequest,
-	p *preparedRun) (*YieldResult, int, error) {
+	p *preparedRun, onEstimate func(vabuf.MCEstimate) bool) (*YieldResult, int, error) {
 	opts := p.opts
 	opts.Context = ctx
 	var model *vabuf.VariationModel
@@ -501,23 +519,9 @@ func (s *Server) runPreparedYield(ctx context.Context, req *YieldRequest,
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
 	}
-	var mc *MonteCarloDTO
-	if req.MonteCarlo > 0 && model != nil {
-		var samples []float64
-		if req.Parallelism > 1 {
-			// The sharded sampler's stream depends only on (n, seed) but
-			// differs from the serial one, so it is opt-in: existing
-			// clients keep their recorded quantiles.
-			samples, err = vabuf.MonteCarloRATParallel(p.tree, p.lib, res.Assignment,
-				model, req.MonteCarlo, req.Seed, req.Parallelism)
-		} else {
-			samples, err = vabuf.MonteCarloRAT(p.tree, p.lib, res.Assignment,
-				model, req.MonteCarlo, req.Seed)
-		}
-		if err != nil {
-			return nil, http.StatusInternalServerError, err
-		}
-		mc = summarizeSamples(samples, req.Quantile)
+	mc, err := s.runMonteCarlo(req, p, model, res.Assignment, onEstimate)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
 	}
 	s.met.recordRun(req.Algo, p.opts.Rule.String(), elapsed, res)
 
@@ -534,6 +538,60 @@ func (s *Server) runPreparedYield(ctx context.Context, req *YieldRequest,
 	}, 0, nil
 }
 
+// resultGet answers a request from the content-addressed result cache.
+// The cached value is the response body of the cold run, served
+// verbatim: warm responses are byte-identical to the original, with the
+// cache hit visible only in /metrics.
+func (s *Server) resultGet(fp string) (any, bool) {
+	if s.results == nil {
+		return nil, false
+	}
+	return s.results.get(fp)
+}
+
+// resultStore saves a successful response body under its fingerprint.
+func (s *Server) resultStore(fp string, body any) {
+	if s.results != nil {
+		s.results.add(fp, body)
+	}
+}
+
+// memoized wraps an endpoint's leader path with the serve-path
+// memoization: answer from the result cache when possible, otherwise
+// coalesce onto an identical in-flight request, otherwise run leader()
+// and publish its outcome. Waiters adopt a leader's 200 verbatim; any
+// other outcome (failure, or a leader whose client vanished mid-run)
+// makes each waiter retry the full path itself, so errors never fan out
+// beyond the requests that truly shared the failing run.
+func (s *Server) memoized(r *http.Request, endpoint, fp string,
+	leader func() (int, any)) (int, any) {
+	for {
+		if body, ok := s.resultGet(fp); ok {
+			return http.StatusOK, body
+		}
+		f, isLeader := s.flights.join(fp)
+		if !isLeader {
+			s.met.recordCoalesced(endpoint)
+			select {
+			case <-f.done:
+				if f.status == http.StatusOK {
+					return http.StatusOK, f.val
+				}
+				continue
+			case <-r.Context().Done():
+				return statusClientClosed, errBody(
+					fmt.Errorf("client closed request: %w", r.Context().Err()))
+			}
+		}
+		status, body := leader()
+		if status == http.StatusOK {
+			s.resultStore(fp, body)
+		}
+		s.flights.finish(fp, f, status, body)
+		return status, body
+	}
+}
+
 func (s *Server) insert(r *http.Request) (int, any) {
 	var req InsertRequest
 	if st, err := decodeJSON(r, s.cfg.MaxRequestBytes, &req); err != nil {
@@ -542,25 +600,27 @@ func (s *Server) insert(r *http.Request) (int, any) {
 	if err := req.normalize(); err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
-	p, err := s.prepare(&req)
-	if err != nil {
-		return http.StatusBadRequest, errBody(err)
-	}
-	var (
-		out       *InsertResult
-		runStatus int
-		runErr    error
-	)
-	status, err := s.execute(r.Context(), "/v1/insert", classFor(req.Priority), func() {
-		out, runStatus, runErr = s.runPrepared(r.Context(), &req, p)
+	return s.memoized(r, "/v1/insert", req.Fingerprint(), func() (int, any) {
+		p, err := s.prepare(&req)
+		if err != nil {
+			return http.StatusBadRequest, errBody(err)
+		}
+		var (
+			out       *InsertResult
+			runStatus int
+			runErr    error
+		)
+		status, err := s.execute(r.Context(), "/v1/insert", classFor(req.Priority), func() {
+			out, runStatus, runErr = s.runPrepared(r.Context(), &req, p)
+		})
+		if err != nil {
+			return status, errBody(err)
+		}
+		if runErr != nil {
+			return runStatus, errBody(runErr)
+		}
+		return http.StatusOK, out
 	})
-	if err != nil {
-		return status, errBody(err)
-	}
-	if runErr != nil {
-		return runStatus, errBody(runErr)
-	}
-	return http.StatusOK, out
 }
 
 func (s *Server) yield(r *http.Request) (int, any) {
@@ -571,25 +631,79 @@ func (s *Server) yield(r *http.Request) (int, any) {
 	if err := req.normalize(); err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
-	p, err := s.prepare(&req.InsertRequest)
-	if err != nil {
-		return http.StatusBadRequest, errBody(err)
-	}
-	var (
-		out       *YieldResult
-		runStatus int
-		runErr    error
-	)
-	status, err := s.execute(r.Context(), "/v1/yield", classFor(req.Priority), func() {
-		out, runStatus, runErr = s.runPreparedYield(r.Context(), &req, p)
+	return s.memoized(r, "/v1/yield", req.Fingerprint(), func() (int, any) {
+		p, err := s.prepare(&req.InsertRequest)
+		if err != nil {
+			return http.StatusBadRequest, errBody(err)
+		}
+		var (
+			out       *YieldResult
+			runStatus int
+			runErr    error
+		)
+		status, err := s.execute(r.Context(), "/v1/yield", classFor(req.Priority), func() {
+			out, runStatus, runErr = s.runPreparedYield(r.Context(), &req, p, nil)
+		})
+		if err != nil {
+			return status, errBody(err)
+		}
+		if runErr != nil {
+			return runStatus, errBody(runErr)
+		}
+		return http.StatusOK, out
 	})
+}
+
+// runMonteCarlo draws the yield request's Monte-Carlo samples with the
+// sampler the request selects — serial, sharded (parallelism > 1), or
+// adaptive (mc_tol > 0) — and reduces them to the DTO. onEstimate, when
+// non-nil, observes every committed shard of an adaptive run (the
+// streaming endpoint's progress feed) and may stop it early.
+func (s *Server) runMonteCarlo(req *YieldRequest, p *preparedRun,
+	model *vabuf.VariationModel, assignment map[vabuf.NodeID]int,
+	onEstimate func(vabuf.MCEstimate) bool) (*MonteCarloDTO, error) {
+	if req.MonteCarlo <= 0 || model == nil {
+		return nil, nil
+	}
+	if req.MCTol > 0 || onEstimate != nil {
+		samples, est, err := vabuf.MonteCarloRATAdaptive(p.tree, p.lib, assignment,
+			model, vabuf.MCAdaptiveOptions{
+				MaxSamples: req.MonteCarlo,
+				Seed:       req.Seed,
+				Workers:    req.Parallelism,
+				Quantile:   req.Quantile,
+				Tol:        req.MCTol,
+				OnEstimate: onEstimate,
+			})
+		if err != nil {
+			return nil, err
+		}
+		// Reduce via the same two-pass helpers as the fixed-budget path,
+		// so a full-budget adaptive run reports numbers bit-identical to
+		// the sharded sampler's.
+		mc := summarizeSamples(samples, req.Quantile)
+		if mc != nil {
+			mc.CIHalfWidthPS = est.HalfWidth
+			mc.Converged = est.Converged
+		}
+		return mc, nil
+	}
+	var samples []float64
+	var err error
+	if req.Parallelism > 1 {
+		// The sharded sampler's stream depends only on (n, seed) but
+		// differs from the serial one, so it is opt-in: existing
+		// clients keep their recorded quantiles.
+		samples, err = vabuf.MonteCarloRATParallel(p.tree, p.lib, assignment,
+			model, req.MonteCarlo, req.Seed, req.Parallelism)
+	} else {
+		samples, err = vabuf.MonteCarloRAT(p.tree, p.lib, assignment,
+			model, req.MonteCarlo, req.Seed)
+	}
 	if err != nil {
-		return status, errBody(err)
+		return nil, err
 	}
-	if runErr != nil {
-		return runStatus, errBody(runErr)
-	}
-	return http.StatusOK, out
+	return summarizeSamples(samples, req.Quantile), nil
 }
 
 // summarizeSamples reduces Monte-Carlo RATs to the DTO: sample mean,
@@ -628,6 +742,7 @@ func (s *Server) healthz(*http.Request) (int, any) {
 }
 
 func (s *Server) metricsHandler(*http.Request) (int, any) {
-	return http.StatusOK, s.met.snapshot(s.pool, s.trees, s.models,
-		s.cfg.TreeCacheSize, s.cfg.ModelCacheSize, s.readyState())
+	return http.StatusOK, s.met.snapshot(s.pool, s.trees, s.models, s.results,
+		s.cfg.TreeCacheSize, s.cfg.ModelCacheSize, s.cfg.ResultCacheSize,
+		s.flights.inflight(), s.readyState())
 }

@@ -104,7 +104,9 @@ func TestInsertBenchmarkNom(t *testing.T) {
 }
 
 func TestInsertCacheHit(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2})
+	// Result caching off: this test is about the tree/model LRUs, which
+	// only show on the repeat if the identical request actually re-runs.
+	_, ts := newTestServer(t, Config{Workers: 2, ResultCacheSize: -1})
 	req := InsertRequest{Tree: smallTreeText(t), Algo: "wid"}
 
 	resp1, raw1 := postJSON(t, ts.URL+"/v1/insert", req)
@@ -242,7 +244,9 @@ func TestOverloadRejectsWith429(t *testing.T) {
 		t.Fatal("could not fill the single queue slot")
 	}
 
-	resp, raw := postJSON(t, ts.URL+"/v1/insert", InsertRequest{Tree: treeText, Algo: "nom"})
+	// A distinct quantile keeps this probe from coalescing onto the held
+	// identical request — it must reach the full queue and bounce.
+	resp, raw := postJSON(t, ts.URL+"/v1/insert", InsertRequest{Tree: treeText, Algo: "nom", Quantile: 0.25})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overload status = %d, want 429: %s", resp.StatusCode, raw)
 	}

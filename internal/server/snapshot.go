@@ -20,6 +20,7 @@ package server
 // snapshot degrades to a partial warm start, never a crash loop.
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -38,9 +39,10 @@ const snapshotVersion = 1
 
 // snapshotEntry is one cache slot in the snapshot file.
 type snapshotEntry struct {
-	// Kind is "tree" or "model".
+	// Kind is "tree", "model", "insert_result", or "yield_result".
 	Kind string `json:"kind"`
-	// Key is the LRU key the entry is restored under, verbatim.
+	// Key is the LRU key the entry is restored under, verbatim (for
+	// result kinds, the request fingerprint).
 	Key string `json:"key"`
 	// Tree is the rctree text (kind "tree" only).
 	Tree string `json:"tree,omitempty"`
@@ -51,16 +53,31 @@ type snapshotEntry struct {
 	Algo          string  `json:"algo,omitempty"`
 	Budget        float64 `json:"budget,omitempty"`
 	Heterogeneous bool    `json:"heterogeneous,omitempty"`
+	// Result is the cached response body, verbatim (result kinds only).
+	Result json.RawMessage `json:"result,omitempty"`
 	// SHA256 covers every semantic field above; restore recomputes and
 	// skips the entry on mismatch.
 	SHA256 string `json:"sha256"`
 }
 
-// computeChecksum hashes the semantic fields of the entry.
+// computeChecksum hashes the semantic fields of the entry. Result bytes
+// are folded in only when present, so tree/model checksums are
+// unchanged from snapshots written before result entries existed. The
+// Result JSON is hashed in compact form: MarshalIndent re-indents raw
+// messages on the way to disk, and the checksum must survive that.
 func (e *snapshotEntry) computeChecksum() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%s\x00%g\x00%t",
 		e.Kind, e.Key, e.Tree, e.TreeKey, e.Algo, e.Budget, e.Heterogeneous)
+	if len(e.Result) > 0 {
+		h.Write([]byte{0})
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, e.Result); err == nil {
+			h.Write(compact.Bytes())
+		} else {
+			h.Write(e.Result)
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -76,6 +93,7 @@ type snapshotFile struct {
 type RestoreStats struct {
 	Trees   int // tree entries restored
 	Models  int // model entries restored (rebuilt from their recipe)
+	Results int // insert/yield result entries restored into the result cache
 	Skipped int // entries dropped: bad checksum, parse error, missing tree
 }
 
@@ -119,6 +137,29 @@ func (s *Server) marshalSnapshot() ([]byte, error) {
 			s.faults.corruptSnapshotEntry(&e)
 		}
 		doc.Entries = append(doc.Entries, e)
+	}
+	if s.results != nil {
+		for _, ce := range s.results.entries() {
+			var kind string
+			switch ce.val.(type) {
+			case *InsertResult:
+				kind = "insert_result"
+			case *YieldResult:
+				kind = "yield_result"
+			default:
+				continue
+			}
+			body, err := json.Marshal(ce.val)
+			if err != nil {
+				return nil, fmt.Errorf("serializing result %q: %w", ce.key, err)
+			}
+			e := snapshotEntry{Kind: kind, Key: ce.key, Result: body}
+			e.SHA256 = e.computeChecksum()
+			if s.faults != nil && s.faults.corruptSnapshotEntry != nil {
+				s.faults.corruptSnapshotEntry(&e)
+			}
+			doc.Entries = append(doc.Entries, e)
+		}
 	}
 	return json.MarshalIndent(doc, "", " ")
 }
@@ -239,22 +280,50 @@ func (s *Server) restoreSnapshot(path string) (RestoreStats, error) {
 		if s.faults != nil && s.faults.beforeRestoreEntry != nil {
 			s.faults.beforeRestoreEntry(e.Kind, e.Key)
 		}
-		if e.Kind != "model" || e.SHA256 != e.computeChecksum() {
+		if e.SHA256 != e.computeChecksum() {
 			stats.Skipped++
 			continue
 		}
-		tree, err := s.treeForModelRestore(e.TreeKey)
-		if err != nil {
+		switch e.Kind {
+		case "model":
+			tree, err := s.treeForModelRestore(e.TreeKey)
+			if err != nil {
+				stats.Skipped++
+				continue
+			}
+			entry, err := buildModelEntry(tree, e.TreeKey, e.Algo, e.Budget, e.Heterogeneous)
+			if err != nil {
+				stats.Skipped++
+				continue
+			}
+			s.models.add(e.Key, entry)
+			stats.Models++
+		case "insert_result", "yield_result":
+			// Dropped without counting when the result cache is off: the
+			// entries are intact, this instance just chose not to keep them.
+			if s.results == nil {
+				continue
+			}
+			var val any
+			var err error
+			if e.Kind == "insert_result" {
+				res := new(InsertResult)
+				err = json.Unmarshal(e.Result, res)
+				val = res
+			} else {
+				res := new(YieldResult)
+				err = json.Unmarshal(e.Result, res)
+				val = res
+			}
+			if err != nil {
+				stats.Skipped++
+				continue
+			}
+			s.results.add(e.Key, val)
+			stats.Results++
+		default:
 			stats.Skipped++
-			continue
 		}
-		entry, err := buildModelEntry(tree, e.TreeKey, e.Algo, e.Budget, e.Heterogeneous)
-		if err != nil {
-			stats.Skipped++
-			continue
-		}
-		s.models.add(e.Key, entry)
-		stats.Models++
 	}
 	s.met.recordSnapshotRestore(stats)
 	return stats, nil

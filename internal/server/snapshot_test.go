@@ -48,7 +48,11 @@ func TestSnapshotSaveRestoreWarmStart(t *testing.T) {
 		t.Fatalf("restore stats = %+v, want {Trees:2 Models:1 Skipped:0}", stats)
 	}
 
-	resp, raw := postJSON(t, ts2.URL+"/v1/insert", InsertRequest{Tree: treeText, Algo: "wid"})
+	// A quantile-distinct request misses the restored result cache (the
+	// warm-up's exact request would answer from it verbatim) but still
+	// resolves its tree and model through the restored LRUs.
+	resp, raw := postJSON(t, ts2.URL+"/v1/insert",
+		InsertRequest{Tree: treeText, Algo: "wid", Quantile: 0.25})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("post-restore status %d: %s", resp.StatusCode, raw)
 	}

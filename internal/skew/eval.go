@@ -1,9 +1,10 @@
 package skew
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"vabuf/internal/device"
 	"vabuf/internal/rctree"
@@ -11,7 +12,16 @@ import (
 )
 
 func sortSlice(list []*cand, less func(a, b *cand) bool) {
-	sort.Slice(list, func(i, j int) bool { return less(list[i], list[j]) })
+	slices.SortFunc(list, func(a, b *cand) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
 }
 
 // Propagate evaluates a fixed buffered clock tree: it returns the
@@ -111,7 +121,7 @@ func MonteCarlo(tree *rctree.Tree, lib device.Library, assign map[rctree.NodeID]
 		}
 		insts = append(insts, inst{id: id, b: lib[bi], dev: model.Deviation(int(id), tree.Node(id).Loc)})
 	}
-	sort.Slice(insts, func(i, j int) bool { return insts[i].id < insts[j].id })
+	slices.SortFunc(insts, func(a, b inst) int { return cmp.Compare(a.id, b.id) })
 	rng := rand.New(rand.NewSource(seed))
 	order := tree.PostOrder()
 	type dstate struct{ L, dmax, dmin float64 }

@@ -57,8 +57,23 @@ func BenchmarkAXPYIn64(b *testing.B) { benchmarkAXPYIn(b, 64) }
 func BenchmarkMin64(b *testing.B)    { benchmarkMin(b, false) }
 func BenchmarkMinIn64(b *testing.B)  { benchmarkMin(b, true) }
 
+func benchmarkSigmaDiff(b *testing.B, nTerms int) {
+	f, g, space := benchForms(nTerms)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkFloat = SigmaDiff(f, g, space)
+	}
+}
+
+func BenchmarkSigmaDiff8(b *testing.B)  { benchmarkSigmaDiff(b, 8) }
+func BenchmarkSigmaDiff64(b *testing.B) { benchmarkSigmaDiff(b, 64) }
+
 // sinkForm defeats dead-code elimination of the benchmarked expressions.
 var sinkForm Form
+
+// sinkFloat defeats dead-code elimination of scalar benchmark results.
+var sinkFloat float64
 
 func benchmarkMin(b *testing.B, arena bool) {
 	f, g, space := benchForms(64)

@@ -1,9 +1,10 @@
 package variation
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 
 	"vabuf/internal/stats"
@@ -36,7 +37,7 @@ func Const(v float64) Form { return Form{Nominal: v} }
 func NewForm(nominal float64, terms []Term) Form {
 	ts := make([]Term, len(terms))
 	copy(ts, terms)
-	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+	slices.SortFunc(ts, func(a, b Term) int { return cmp.Compare(a.ID, b.ID) })
 	out := ts[:0]
 	for _, t := range ts {
 		if n := len(out); n > 0 && out[n-1].ID == t.ID {
@@ -167,27 +168,60 @@ func Corr(f, g Form, space *Space) float64 {
 
 // SigmaDiff returns the standard deviation of f - g computed directly from
 // the term lists, i.e. sqrt(Var(f) - 2Cov + Var(g)) without cancellation
-// issues (eq. 9 / eq. 40).
+// issues (eq. 9 / eq. 40). The variance of the difference is accumulated
+// in a single merge walk over the two sorted term lists — no intermediate
+// form is materialized, so the hot pruning paths stay allocation-free.
 func SigmaDiff(f, g Form, space *Space) float64 {
-	return f.Sub(g).Sigma(space)
+	v := 0.0
+	i, j := 0, 0
+	for i < len(f.Terms) && j < len(g.Terms) {
+		a, b := f.Terms[i], g.Terms[j]
+		switch {
+		case a.ID < b.ID:
+			s := space.Sigma(a.ID)
+			v += a.Coef * a.Coef * s * s
+			i++
+		case a.ID > b.ID:
+			s := space.Sigma(b.ID)
+			v += b.Coef * b.Coef * s * s
+			j++
+		default:
+			c := a.Coef - b.Coef
+			s := space.Sigma(a.ID)
+			v += c * c * s * s
+			i++
+			j++
+		}
+	}
+	for ; i < len(f.Terms); i++ {
+		t := f.Terms[i]
+		s := space.Sigma(t.ID)
+		v += t.Coef * t.Coef * s * s
+	}
+	for ; j < len(g.Terms); j++ {
+		t := g.Terms[j]
+		s := space.Sigma(t.ID)
+		v += t.Coef * t.Coef * s * s
+	}
+	return math.Sqrt(v)
 }
 
 // ProbGreater returns P(f > g) under the joint normal interpretation of
 // the two forms (eq. 8).
 func ProbGreater(f, g Form, space *Space) float64 {
-	d := f.Sub(g)
-	sd := d.Sigma(space)
+	nom := f.Nominal - g.Nominal
+	sd := SigmaDiff(f, g, space)
 	if sd == 0 {
 		switch {
-		case d.Nominal > 0:
+		case nom > 0:
 			return 1
-		case d.Nominal < 0:
+		case nom < 0:
 			return 0
 		default:
 			return 0.5
 		}
 	}
-	return stats.Phi(d.Nominal / sd)
+	return stats.Phi(nom / sd)
 }
 
 // Quantile returns the p-quantile of the form's normal distribution.

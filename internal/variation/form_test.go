@@ -199,6 +199,37 @@ func TestSigmaDiffMatchesCovFormula(t *testing.T) {
 	}
 }
 
+func TestSigmaDiffMatchesSubForm(t *testing.T) {
+	space := testSpace(12)
+	rng := rand.New(rand.NewSource(9))
+	mk := func() Form {
+		var terms []Term
+		for id := 0; id < 12; id++ {
+			if rng.Float64() < 0.5 {
+				terms = append(terms, Term{SourceID(id), rng.NormFloat64()})
+			}
+		}
+		return NewForm(rng.NormFloat64()*10, terms)
+	}
+	for i := 0; i < 200; i++ {
+		f, g := mk(), mk()
+		direct := SigmaDiff(f, g, space)
+		viaSub := f.Sub(g).Sigma(space)
+		if math.Abs(direct-viaSub) > 1e-9*(1+viaSub) {
+			t.Fatalf("iter %d: merge-walk SigmaDiff %g vs Sub form %g", i, direct, viaSub)
+		}
+	}
+}
+
+func TestSigmaDiffDoesNotAllocate(t *testing.T) {
+	f, g, space := benchForms(64)
+	if allocs := testing.AllocsPerRun(100, func() {
+		sinkFloat = SigmaDiff(f, g, space)
+	}); allocs != 0 {
+		t.Errorf("SigmaDiff allocates %g objects per call, want 0", allocs)
+	}
+}
+
 func TestProbGreaterForms(t *testing.T) {
 	space := testSpace(3)
 	f := NewForm(1, []Term{{0, 1}})

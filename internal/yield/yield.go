@@ -7,10 +7,11 @@
 package yield
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
+	"slices"
 
 	"vabuf/internal/device"
 	"vabuf/internal/rctree"
@@ -147,7 +148,7 @@ func MonteCarloSized(tree *rctree.Tree, lib device.Library, assign map[rctree.No
 		})
 	}
 	// Deterministic iteration order for reproducibility.
-	sort.Slice(insts, func(i, j int) bool { return insts[i].id < insts[j].id })
+	slices.SortFunc(insts, func(a, b inst) int { return cmp.Compare(a.id, b.id) })
 	run := func(count int, shardSeed int64, dst []float64) error {
 		rng := rand.New(rand.NewSource(shardSeed))
 		var buf []float64
@@ -193,26 +194,7 @@ func MonteCarloParallel(tree *rctree.Tree, lib device.Library, assign map[rctree
 		workers = runtime.GOMAXPROCS(0)
 	}
 	// Fixed shard layout independent of the worker count.
-	const shards = 16
-	type shard struct {
-		from, count int
-		seed        int64
-	}
-	per := n / shards
-	rem := n % shards
-	plan := make([]shard, 0, shards)
-	from := 0
-	for i := 0; i < shards; i++ {
-		count := per
-		if i < rem {
-			count++
-		}
-		if count == 0 {
-			continue
-		}
-		plan = append(plan, shard{from: from, count: count, seed: seed + int64(i)})
-		from += count
-	}
+	plan := mcPlan(n, seed)
 	// Force the lazy per-site source allocation to happen once, serially,
 	// before any concurrency touches the model.
 	for id := range assign {

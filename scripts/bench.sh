@@ -5,15 +5,21 @@
 # Usage:
 #   scripts/bench.sh [-count N] [-benchtime T] [-out FILE]
 #
-# Defaults: -count 1, -benchtime 2x, -out BENCH_core.json (repo root).
-# The snapshot records ns/op, B/op and allocs/op for:
-#   * canonical-form kernels   (internal/variation: AXPY[In], Min[In])
+# Defaults: -count 5, -benchtime 2x, -out BENCH_core.json (repo root).
+# Each benchmark runs COUNT times and the snapshot records the per-metric
+# median, so one noisy run cannot skew the committed numbers. Tracked:
+#   * canonical-form kernels   (internal/variation: AXPY[In], Min[In],
+#                               SigmaDiff merge walks)
 #   * pruning rules            (internal/core: Prune2P/4P at 256/1024)
 #   * end-to-end insertion     (internal/core + root: NOM/WID presets,
 #                               Serial vs Par4 pairs for the speedup ratio)
+#   * serve-path memoization   (internal/server: ServeInsertCold vs
+#                               ServeInsertWarm, the result-cache win)
+#   * adaptive Monte Carlo     (root: MCR3Adaptive vs MCR3Fixed; the
+#                               "samples" metric is the early-stop signal)
 set -eu
 
-COUNT=1
+COUNT=5
 BENCHTIME=2x
 OUT=BENCH_core.json
 while [ $# -gt 0 ]; do
@@ -35,12 +41,16 @@ run() { # run <pkg> <bench-regex>
     | tee /dev/stderr | grep '^Benchmark' >>"$RAW" || true
 }
 
-run ./internal/variation/ 'AXPY|Min'
+run ./internal/variation/ 'AXPY|Min|SigmaDiff'
 run ./internal/core/ 'Prune|Insert'
-run . 'InsertWIDr[35](Serial|Par4)$'
+run ./internal/server/ 'ServeInsert'
+run . 'InsertWIDr[35](Serial|Par4)$|MCR3'
 
-# Fold the `go test -bench` lines into a JSON array. Each line looks like:
+# Fold the `go test -bench` lines into a JSON array, one object per
+# benchmark with the median of each metric across the COUNT repetitions.
+# Each raw line looks like:
 #   BenchmarkName-8   12   3456 ns/op   789 B/op   10 allocs/op
+# (adaptive-MC benches additionally report a "samples" metric).
 {
   printf '{\n'
   printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
@@ -56,22 +66,50 @@ run . 'InsertWIDr[35](Serial|Par4)$'
   fi
   printf '  "results": [\n'
   awk '
+    # Full-precision number-to-string conversion: without this, mawk
+    # prints ns/op medians past 2^31 in scientific notation.
+    BEGIN { CONVFMT = "%.17g"; OFMT = "%.17g" }
     /^Benchmark/ {
       name = $1; sub(/-[0-9]+$/, "", name)
-      ns = ""; bytes = ""; allocs = ""
+      if (!(name in cnt)) { names[nn++] = name; iter[name] = $2 }
+      k = cnt[name]++
       for (i = 2; i <= NF; i++) {
-        if ($(i) == "ns/op") ns = $(i-1)
-        if ($(i) == "B/op") bytes = $(i-1)
-        if ($(i) == "allocs/op") allocs = $(i-1)
+        if ($(i) == "ns/op") ns[name, k] = $(i-1)
+        if ($(i) == "B/op") bytes[name, k] = $(i-1)
+        if ($(i) == "allocs/op") allocs[name, k] = $(i-1)
+        if ($(i) == "samples") samples[name, k] = $(i-1)
       }
-      line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
-      if (ns != "") line = line sprintf(", \"ns_per_op\": %s", ns)
-      if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
-      if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
-      line = line "}"
-      lines[n++] = line
     }
-    END { for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") }
+    # median of the values recorded for name (insertion sort; COUNT is tiny)
+    function median(arr, name, runs,   m, i, j, t, v) {
+      m = 0
+      for (i = 0; i < runs; i++) if ((name, i) in arr) v[m++] = arr[name, i] + 0
+      if (m == 0) return ""
+      for (i = 1; i < m; i++) {
+        t = v[i]
+        for (j = i - 1; j >= 0 && v[j] > t; j--) v[j + 1] = v[j]
+        v[j + 1] = t
+      }
+      if (m % 2) return v[(m - 1) / 2]
+      return (v[m / 2 - 1] + v[m / 2]) / 2
+    }
+    END {
+      for (x = 0; x < nn; x++) {
+        name = names[x]
+        line = sprintf("    {\"name\": \"%s\", \"runs\": %d, \"iterations\": %s", \
+                       name, cnt[name], iter[name])
+        m = median(ns, name, cnt[name])
+        if (m != "") line = line sprintf(", \"ns_per_op\": %s", m)
+        m = median(bytes, name, cnt[name])
+        if (m != "") line = line sprintf(", \"bytes_per_op\": %s", m)
+        m = median(allocs, name, cnt[name])
+        if (m != "") line = line sprintf(", \"allocs_per_op\": %s", m)
+        m = median(samples, name, cnt[name])
+        if (m != "") line = line sprintf(", \"samples\": %s", m)
+        line = line "}"
+        printf "%s%s\n", line, (x < nn - 1 ? "," : "")
+      }
+    }
   ' "$RAW"
   printf '  ]\n'
   printf '}\n'

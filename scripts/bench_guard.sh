@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# scripts/bench_guard.sh — coarse perf-regression gate for CI: re-run the
+# serial r3 WID insertion benchmark and fail if its ns/op exceeds 2x the
+# committed BENCH_core.json snapshot. The 2x margin absorbs runner noise
+# and hardware skew; genuine regressions (a lost arena, an accidental
+# re-sort, a dropped prune) blow well past it.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCH=BenchmarkInsertWIDr3Serial
+
+# The snapshot holds one object per line; take the last match so the
+# current results section wins over the frozen baseline block.
+BASE=$(sed -n "s/.*\"name\": \"$BENCH\".*\"ns_per_op\": \([0-9][0-9]*\).*/\1/p" BENCH_core.json | tail -1)
+if [ -z "$BASE" ]; then
+  echo "bench_guard: $BENCH missing from BENCH_core.json" >&2
+  exit 2
+fi
+
+NOW=$(go test . -run '^$' -bench "${BENCH#Benchmark}\$" -benchtime 2x \
+  | awk -v b="$BENCH" 'index($1, b) == 1 { for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1) }')
+NOW=${NOW%%.*}
+if [ -z "$NOW" ]; then
+  echo "bench_guard: $BENCH produced no ns/op" >&2
+  exit 2
+fi
+
+LIMIT=$((BASE * 2))
+echo "bench_guard: $BENCH now $NOW ns/op, snapshot $BASE ns/op, limit $LIMIT ns/op"
+if [ "$NOW" -gt "$LIMIT" ]; then
+  echo "bench_guard: perf regression: $NOW ns/op > 2x the committed snapshot" >&2
+  exit 1
+fi

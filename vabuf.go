@@ -221,6 +221,36 @@ func MonteCarloRATParallel(tree *Tree, lib Library, assign map[NodeID]int,
 	return yield.MonteCarloParallel(tree, lib, assign, nil, model, n, seed, workers)
 }
 
+// MCAdaptiveOptions configures an early-stopping Monte-Carlo run (sample
+// cap, seed, quantile, confidence, relative CI tolerance).
+type MCAdaptiveOptions = yield.AdaptiveOptions
+
+// MCEstimate is the running (or final) state of an adaptive Monte-Carlo
+// run: sample count, moments, quantile estimate with CI half-width, and
+// whether the stopping rule fired.
+type MCEstimate = yield.Estimate
+
+// MonteCarloRATAdaptive is MonteCarloRATParallel with a sequential
+// stopping rule: sampling proceeds in deterministic shard-sized chunks
+// and stops once the CI half-width of the requested RAT quantile falls
+// within opts.Tol (relative), or at opts.MaxSamples. The returned
+// samples are a shard-aligned prefix of the MonteCarloRATParallel
+// stream for the same (MaxSamples, Seed), so a run that never converges
+// reproduces the fixed-budget result exactly.
+func MonteCarloRATAdaptive(tree *Tree, lib Library, assign map[NodeID]int,
+	model *VariationModel, opts MCAdaptiveOptions) ([]float64, MCEstimate, error) {
+	return yield.MonteCarloAdaptive(tree, lib, assign, nil, model, opts)
+}
+
+// MonteCarloTimingAdaptive is MonteCarloTimingParallel with the same
+// sequential stopping rule applied per output pin: the run ends once
+// every output's quantile CI is inside tolerance (or at the cap), and
+// the estimate reports the worst-converged pin.
+func MonteCarloTimingAdaptive(g *TimingGraph, inputs map[TimingPin]Form,
+	space *VariationSpace, opts sta.AdaptiveOptions) ([][]float64, sta.Estimate, error) {
+	return sta.MonteCarloAdaptive(g, inputs, space, opts)
+}
+
 // SinkCriticality returns, per sink, the probability that it is the
 // statistically critical one (the sink realizing the minimum slack at
 // the root) for a fixed buffered tree under the model.
