@@ -11,6 +11,9 @@
 //	POST /v1/yield:batch  batched yield runs
 //	POST /v1/yield:stream insertion + adaptive Monte Carlo streamed as
 //	                      newline-delimited JSON progress events and a final result
+//	POST /v1/cache/fill   peer cache fill: accept a result computed by a
+//	                      fleet sibling (vabufr replays failover-served
+//	                      answers here; epoch-checked, fingerprint recomputed)
 //	GET  /v1/benchmarks   list the built-in Table 1 benchmark names
 //	GET  /healthz         liveness probe (200 while the process is up)
 //	GET  /readyz          readiness probe (503 while draining, restoring a
@@ -68,6 +71,10 @@ func main() {
 			"also rewrite -snapshot periodically, bounding warm-up lost to a crash (0 = only on drain)")
 		shedAfter = flag.Duration("shed-after", 10*time.Second,
 			"reject sweep-class work early (503) once the job queue has been saturated this long (0 disables)")
+		instance = flag.String("instance", "",
+			"instance id surfaced in /metrics, /readyz and the Vabuf-Instance header (empty = hostname:port, resolved after listen)")
+		epoch = flag.String("epoch", "",
+			"cache epoch mixed into result fingerprints; bump it (fleet-wide) to invalidate every cached result after a library or model change")
 	)
 	flag.Parse()
 
@@ -90,8 +97,17 @@ func main() {
 		SnapshotPath:    *snapshot,
 		SnapshotEvery:   *snapshotEvery,
 		ShedAfter:       *shedAfter,
+		Instance:        *instance,
+		Epoch:           *epoch,
 	})
 	if *snapshot != "" {
+		// Two instances sharing one snapshot path would silently clobber
+		// each other's drain-time writes; refuse to start instead.
+		release, err := server.LockSnapshot(*snapshot)
+		if err != nil {
+			log.Fatalf("vabufd: %v", err)
+		}
+		defer release()
 		if _, err := os.Stat(*snapshot); err == nil {
 			// Restore in the background so the listener comes up
 			// immediately; /readyz reports 503 restoring until done.
@@ -119,6 +135,19 @@ func main() {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("vabufd: listen: %v", err)
+	}
+	if *instance == "" {
+		// Default the instance id to hostname:port — only knowable after
+		// the listener binds (-addr may use port 0).
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "vabufd"
+		}
+		if _, port, err := net.SplitHostPort(ln.Addr().String()); err == nil {
+			srv.SetInstanceID(net.JoinHostPort(host, port))
+		} else {
+			srv.SetInstanceID(host)
+		}
 	}
 	hs := &http.Server{
 		Handler:           srv.Handler(),

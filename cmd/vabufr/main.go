@@ -1,0 +1,125 @@
+// Command vabufr fronts a fleet of vabufd instances with a
+// consistent-hash router. It owns no DP engine — only routing: each
+// request's content-addressed fingerprint picks the one backend whose
+// result cache should own it, so N instances behave like one big cache
+// instead of N cold ones.
+//
+//	POST /v1/insert        proxied to the fingerprint's ring owner
+//	POST /v1/yield         (failover walks the ring when the owner is down)
+//	POST /v1/yield:stream  proxied streaming; failover up to first byte
+//	POST /v1/insert:batch  split per owner, scatter-gathered in order
+//	POST /v1/yield:batch
+//	GET  /v1/benchmarks    proxied to any healthy backend
+//	GET  /healthz          liveness (200 while the router is up)
+//	GET  /readyz           503 until at least one backend probes healthy
+//	GET  /metrics          per-backend counters, failovers, probe state,
+//	                       scatter fan-out histogram, peer-fill queue
+//
+// A background poller probes each backend's /readyz on a jittered
+// interval with hysteresis; a failed proxy attempt marks the backend
+// down immediately. Results served by a failover backend are replayed
+// asynchronously to the recovered owner (POST /v1/cache/fill) so the
+// fleet's cache partition re-converges without recomputation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vabuf/internal/router"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8576", "listen address")
+		backends = flag.String("backends", "",
+			"comma-separated vabufd base URLs forming the ring (required), e.g. http://127.0.0.1:8577,http://127.0.0.1:8578")
+		vnodes = flag.Int("vnodes", 0,
+			"virtual nodes per backend on the hash ring (0 = 64)")
+		probeEvery = flag.Duration("probe-every", 2*time.Second,
+			"base /readyz probe interval per backend (jittered ±30%)")
+		probeTimeout = flag.Duration("probe-timeout", time.Second, "per-probe deadline")
+		failAfter    = flag.Int("fail-after", 2,
+			"consecutive probe failures before a backend is marked down (proxy errors mark down immediately)")
+		recoverAfter = flag.Int("recover-after", 2,
+			"consecutive probe successes before a down backend takes traffic again")
+		maxBody   = flag.Int64("max-body", 8<<20, "request body limit in bytes")
+		fillQueue = flag.Int("fill-queue", 256,
+			"pending peer-cache-fill queue depth (0 = default, negative disables peer fill)")
+		fillWait = flag.Duration("fill-wait", 2*time.Minute,
+			"how long a queued fill waits for its owner to recover before being dropped")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, strings.TrimRight(b, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("vabufr: -backends is required (comma-separated vabufd base URLs)")
+	}
+
+	rt, err := router.New(router.Config{
+		Backends:        urls,
+		VNodes:          *vnodes,
+		ProbeInterval:   *probeEvery,
+		ProbeTimeout:    *probeTimeout,
+		FailAfter:       *failAfter,
+		RecoverAfter:    *recoverAfter,
+		MaxRequestBytes: *maxBody,
+		FillQueue:       *fillQueue,
+		FillWait:        *fillWait,
+	})
+	if err != nil {
+		log.Fatalf("vabufr: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Listen before logging so -addr with port 0 reports the bound port —
+	// scripts/fleet.sh and the integration tests parse this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("vabufr: listen: %v", err)
+	}
+	hs := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("vabufr listening on %s (%d backends, %d vnodes each)",
+		ln.Addr(), len(urls), func() int {
+			if *vnodes > 0 {
+				return *vnodes
+			}
+			return 64
+		}())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("vabufr: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Print("vabufr: shutdown signal; closing")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("vabufr: shutdown: %v", err)
+	}
+	rt.Close()
+	log.Print("vabufr: exiting")
+}

@@ -1,0 +1,155 @@
+package router
+
+// Peer cache fill. When the owner of a fingerprint is down, a successor
+// serves the request — correct, but now the *successor's* cache holds
+// the answer while the owner, once it recovers, is as cold as a fresh
+// boot for exactly the keys it owns. The filler closes that gap: every
+// failover-served 200 is enqueued here, and a background worker waits
+// for the owner's probe to recover, then replays the answer to the
+// owner's POST /v1/cache/fill. The fleet's partition re-converges
+// without recomputing anything and without blocking any client request.
+//
+// The queue is bounded and lossy by design: a fill is an optimization,
+// never a correctness requirement (the owner would simply recompute on
+// the next repeat), so under pressure the router drops fills and counts
+// them instead of holding request goroutines hostage.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"vabuf/internal/server"
+)
+
+// fillJob is one pending peer cache fill.
+type fillJob struct {
+	owner int    // backend index whose cache went cold
+	kind  string // "insert" or "yield"
+	epoch string // epoch of the backend that computed the result
+	// request/result are the original request and the serving backend's
+	// answer, verbatim.
+	request json.RawMessage
+	result  json.RawMessage
+	// deadline bounds how long the filler waits for the owner to
+	// recover before giving the fill up.
+	deadline time.Time
+}
+
+// filler owns the fill queue and its single delivery worker. One worker
+// is enough: fills are tiny POSTs, and serializing them keeps a
+// recovering backend from being hammered with its whole backlog at once.
+type filler struct {
+	ch       chan fillJob
+	backends []string
+	prober   *prober
+	client   *http.Client
+	met      *rmetrics
+	wait     time.Duration // per-job recovery wait (deadline at enqueue)
+	poll     time.Duration // how often to re-check the owner while down
+	stop     chan struct{}
+	done     chan struct{}
+	logf     func(format string, args ...any)
+}
+
+func newFiller(backends []string, prober *prober, client *http.Client,
+	met *rmetrics, queue int, wait, poll time.Duration,
+	logf func(string, ...any)) *filler {
+	f := &filler{
+		ch:       make(chan fillJob, queue),
+		backends: backends,
+		prober:   prober,
+		client:   client,
+		met:      met,
+		wait:     wait,
+		poll:     poll,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		logf:     logf,
+	}
+	go f.run()
+	return f
+}
+
+func (f *filler) close() {
+	close(f.stop)
+	<-f.done
+}
+
+// enqueue queues one fill, dropping it (counted) when the queue is full.
+func (f *filler) enqueue(job fillJob) {
+	job.deadline = time.Now().Add(f.wait)
+	select {
+	case f.ch <- job:
+		f.met.recordFillQueued(false)
+	default:
+		f.met.recordFillQueued(true)
+	}
+}
+
+// backlog reports the queued-but-undelivered fill count (metrics).
+func (f *filler) backlog() int { return len(f.ch) }
+
+func (f *filler) run() {
+	defer close(f.done)
+	for {
+		select {
+		case <-f.stop:
+			return
+		case job := <-f.ch:
+			f.deliver(job)
+		}
+	}
+}
+
+// deliver waits for the owner to recover, then posts the fill once.
+func (f *filler) deliver(job fillJob) {
+	for !f.prober.healthy(job.owner) {
+		if time.Now().After(job.deadline) {
+			f.met.recordFillOutcome(job.owner, false)
+			return
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(f.poll):
+		}
+	}
+	payload, err := json.Marshal(server.CacheFillRequest{
+		Kind:    job.kind,
+		Epoch:   job.epoch,
+		Request: job.request,
+		Result:  job.result,
+	})
+	if err != nil {
+		f.met.recordFillOutcome(job.owner, false)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		f.backends[job.owner]+"/v1/cache/fill", bytes.NewReader(payload))
+	if err != nil {
+		f.met.recordFillOutcome(job.owner, false)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.met.recordFillOutcome(job.owner, false)
+		f.logf("vabufr: peer fill to %s failed: %v", f.backends[job.owner], err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// 409 = epoch mismatch: the owner moved to a new library
+		// generation while the fill waited — exactly the stale result the
+		// epoch exists to refuse. Count it and move on.
+		f.met.recordFillOutcome(job.owner, false)
+		f.logf("vabufr: peer fill to %s refused: %s", f.backends[job.owner], resp.Status)
+		return
+	}
+	f.met.recordFillOutcome(job.owner, true)
+}

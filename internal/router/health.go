@@ -1,0 +1,270 @@
+package router
+
+// Health probing. A background poller per backend hits GET /readyz on a
+// jittered interval (so a fleet of routers never probes in lockstep) and
+// applies hysteresis: consecutive failures mark a backend down,
+// consecutive successes bring it back, and a single flapping probe moves
+// nothing. A failed *proxy* attempt is stronger evidence than a failed
+// probe — the backend just dropped a real request — so it marks the
+// backend down immediately and kicks an out-of-band probe, which is what
+// bounds failover latency to at most one probe interval after a kill.
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// probeConfig sizes the poller. Zero values select the defaults.
+type probeConfig struct {
+	interval     time.Duration // base poll interval (default 2s, ±30% jitter)
+	timeout      time.Duration // per-probe deadline (default 1s)
+	failAfter    int           // consecutive probe failures to mark down (default 2)
+	recoverAfter int           // consecutive probe successes to mark up (default 2)
+}
+
+func (c probeConfig) withDefaults() probeConfig {
+	if c.interval <= 0 {
+		c.interval = 2 * time.Second
+	}
+	if c.timeout <= 0 {
+		c.timeout = time.Second
+	}
+	if c.failAfter <= 0 {
+		c.failAfter = 2
+	}
+	if c.recoverAfter <= 0 {
+		c.recoverAfter = 2
+	}
+	return c
+}
+
+// backendState is the prober's view of one backend.
+type backendState struct {
+	mu      sync.Mutex
+	healthy bool
+	fails   int // consecutive probe failures (while healthy)
+	oks     int // consecutive probe successes (while down)
+	// instance and epoch are learned from the /readyz body, so router
+	// metrics can attribute backends without extra round trips.
+	instance    string
+	epoch       string
+	lastErr     string
+	probes      int64
+	transitions int64
+	lastProbe   time.Time
+}
+
+// readyzBody is the slice of the vabufd /readyz response the prober reads.
+type readyzBody struct {
+	Status   string `json:"status"`
+	Instance string `json:"instance"`
+	Epoch    string `json:"epoch"`
+}
+
+// prober runs one polling goroutine per backend.
+type prober struct {
+	cfg      probeConfig
+	backends []string
+	client   *http.Client
+	states   []*backendState
+	// kick channels wake a backend's poll loop early: after a proxy
+	// error (re-confirm the death quickly) and in tests.
+	kick []chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+	// onTransition observes health flips (logging); may be nil.
+	onTransition func(backend string, healthy bool, reason string)
+}
+
+func newProber(backends []string, cfg probeConfig, client *http.Client,
+	onTransition func(string, bool, string)) *prober {
+	p := &prober{
+		cfg:          cfg.withDefaults(),
+		backends:     backends,
+		client:       client,
+		states:       make([]*backendState, len(backends)),
+		kick:         make([]chan struct{}, len(backends)),
+		stop:         make(chan struct{}),
+		onTransition: onTransition,
+	}
+	for i := range backends {
+		p.states[i] = &backendState{}
+		p.kick[i] = make(chan struct{}, 1)
+	}
+	return p
+}
+
+// start launches the poll loops. Backends start *down*: the router's own
+// /readyz answers 503 until the first successful probe proves at least
+// one backend can take traffic.
+func (p *prober) start() {
+	for i := range p.backends {
+		p.wg.Add(1)
+		go p.loop(i)
+	}
+}
+
+func (p *prober) close() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// loop probes backend i forever: immediately on start, then on the
+// jittered interval, or earlier when kicked.
+func (p *prober) loop(i int) {
+	defer p.wg.Done()
+	for {
+		p.probeOnce(i)
+		// ±30% jitter decorrelates the probes of multiple routers (and of
+		// this router's backends) so a fleet never sees probe bursts.
+		d := time.Duration(float64(p.cfg.interval) * (0.7 + 0.6*rand.Float64()))
+		t := time.NewTimer(d)
+		select {
+		case <-p.stop:
+			t.Stop()
+			return
+		case <-p.kick[i]:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// probeOnce performs one /readyz probe and applies the hysteresis rules.
+func (p *prober) probeOnce(i int) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.backends[i]+"/readyz", nil)
+	if err != nil {
+		p.recordProbe(i, false, "", "", err.Error())
+		return
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.recordProbe(i, false, "", "", err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	var body readyzBody
+	dec := json.NewDecoder(resp.Body)
+	_ = dec.Decode(&body) // identity fields are best-effort
+	if resp.StatusCode != http.StatusOK {
+		reason := body.Status
+		if reason == "" {
+			reason = resp.Status
+		}
+		p.recordProbe(i, false, body.Instance, body.Epoch, "readyz: "+reason)
+		return
+	}
+	p.recordProbe(i, true, body.Instance, body.Epoch, "")
+}
+
+// recordProbe folds one probe outcome into the backend's state.
+func (p *prober) recordProbe(i int, ok bool, instance, epoch, errMsg string) {
+	st := p.states[i]
+	st.mu.Lock()
+	st.probes++
+	st.lastProbe = time.Now()
+	if instance != "" {
+		st.instance = instance
+		st.epoch = epoch
+	}
+	var flipped bool
+	var nowHealthy bool
+	if ok {
+		st.lastErr = ""
+		st.fails = 0
+		if !st.healthy {
+			st.oks++
+			if st.oks >= p.cfg.recoverAfter {
+				st.healthy, st.oks = true, 0
+				st.transitions++
+				flipped, nowHealthy = true, true
+			}
+		}
+	} else {
+		st.lastErr = errMsg
+		st.oks = 0
+		if st.healthy {
+			st.fails++
+			if st.fails >= p.cfg.failAfter {
+				st.healthy, st.fails = false, 0
+				st.transitions++
+				flipped, nowHealthy = true, false
+			}
+		}
+	}
+	st.mu.Unlock()
+	if flipped && p.onTransition != nil {
+		p.onTransition(p.backends[i], nowHealthy, errMsg)
+	}
+}
+
+// noteProxyError marks backend i down immediately — a dropped live
+// request outranks probe hysteresis — and kicks its poll loop so
+// recovery detection starts right away.
+func (p *prober) noteProxyError(i int, err error) {
+	st := p.states[i]
+	st.mu.Lock()
+	st.lastErr = err.Error()
+	st.oks = 0
+	st.fails = 0
+	flipped := st.healthy
+	if st.healthy {
+		st.healthy = false
+		st.transitions++
+	}
+	st.mu.Unlock()
+	if flipped && p.onTransition != nil {
+		p.onTransition(p.backends[i], false, err.Error())
+	}
+	select {
+	case p.kick[i] <- struct{}{}:
+	default:
+	}
+}
+
+// healthy reports whether backend i currently takes traffic.
+func (p *prober) healthy(i int) bool {
+	st := p.states[i]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.healthy
+}
+
+// anyHealthy reports whether at least one backend takes traffic — the
+// router's own readiness condition.
+func (p *prober) anyHealthy() bool {
+	for i := range p.states {
+		if p.healthy(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// epochOf returns the last epoch learned from backend i's /readyz.
+func (p *prober) epochOf(i int) string {
+	st := p.states[i]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.epoch
+}
+
+// snapshot returns the metrics view of backend i's probe state.
+func (st *backendState) snapshot() map[string]any {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return map[string]any{
+		"healthy":     st.healthy,
+		"instance":    st.instance,
+		"epoch":       st.epoch,
+		"probes":      st.probes,
+		"transitions": st.transitions,
+		"last_error":  st.lastErr,
+	}
+}

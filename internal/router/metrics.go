@@ -1,0 +1,170 @@
+package router
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// backendCounters are the per-backend traffic counters of the router.
+type backendCounters struct {
+	proxied    int64 // requests (or sub-batches) this backend answered
+	failovers  int64 // requests this backend owned but another served
+	fillsSent  int64 // peer cache fills delivered to this backend
+	fillErrors int64 // fills that failed (post error or non-200)
+}
+
+// rmetrics is the registry behind the router's GET /metrics.
+type rmetrics struct {
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[string]map[string]int64 // endpoint -> status -> count
+	backends []backendCounters
+	// fanout histograms how many distinct backends each batch request
+	// scattered to (key = owner-group count).
+	fanout map[int]int64
+	// ringRebuilds counts ring constructions (membership is static per
+	// process today, so this is 1 until dynamic membership lands).
+	ringRebuilds int64
+	fillQueued   int64
+	fillDropped  int64
+}
+
+func newRMetrics(nBackends int) *rmetrics {
+	return &rmetrics{
+		start:    time.Now(),
+		requests: make(map[string]map[string]int64),
+		backends: make([]backendCounters, nBackends),
+		fanout:   make(map[int]int64),
+	}
+}
+
+func (m *rmetrics) recordRequest(endpoint string, status int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus := m.requests[endpoint]
+	if byStatus == nil {
+		byStatus = make(map[string]int64)
+		m.requests[endpoint] = byStatus
+	}
+	byStatus[strconv.Itoa(status)]++
+}
+
+func (m *rmetrics) recordProxied(backend int) {
+	m.mu.Lock()
+	m.backends[backend].proxied++
+	m.mu.Unlock()
+}
+
+// recordFailover counts a request against the owner that missed it.
+func (m *rmetrics) recordFailover(owner int) {
+	m.mu.Lock()
+	m.backends[owner].failovers++
+	m.mu.Unlock()
+}
+
+func (m *rmetrics) recordFanout(groups int) {
+	m.mu.Lock()
+	m.fanout[groups]++
+	m.mu.Unlock()
+}
+
+func (m *rmetrics) recordRingRebuild() {
+	m.mu.Lock()
+	m.ringRebuilds++
+	m.mu.Unlock()
+}
+
+func (m *rmetrics) recordFillQueued(dropped bool) {
+	m.mu.Lock()
+	if dropped {
+		m.fillDropped++
+	} else {
+		m.fillQueued++
+	}
+	m.mu.Unlock()
+}
+
+func (m *rmetrics) recordFillOutcome(backend int, ok bool) {
+	m.mu.Lock()
+	if ok {
+		m.backends[backend].fillsSent++
+	} else {
+		m.backends[backend].fillErrors++
+	}
+	m.mu.Unlock()
+}
+
+// failoversOf returns the failover count charged to a backend (tests).
+func (m *rmetrics) failoversOf(backend int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.backends[backend].failovers
+}
+
+// proxiedOf returns the proxied-request count of a backend (tests).
+func (m *rmetrics) proxiedOf(backend int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.backends[backend].proxied
+}
+
+// snapshot assembles the /metrics document. Probe state is merged per
+// backend so one document answers "who is down, who serves what, where
+// do the fills go".
+func (m *rmetrics) snapshot(backends []string, prober *prober, ring *hashRing,
+	fillBacklog int, ready bool) map[string]any {
+	m.mu.Lock()
+	requests := make(map[string]map[string]int64, len(m.requests))
+	for ep, byStatus := range m.requests {
+		cp := make(map[string]int64, len(byStatus))
+		for st, n := range byStatus {
+			cp[st] = n
+		}
+		requests[ep] = cp
+	}
+	fanout := make(map[string]int64, len(m.fanout))
+	for groups, n := range m.fanout {
+		fanout[strconv.Itoa(groups)] = n
+	}
+	counters := make([]backendCounters, len(m.backends))
+	copy(counters, m.backends)
+	rebuilds := m.ringRebuilds
+	queued, dropped := m.fillQueued, m.fillDropped
+	m.mu.Unlock()
+
+	bs := make([]map[string]any, len(backends))
+	for i, url := range backends {
+		doc := prober.states[i].snapshot()
+		doc["url"] = url
+		doc["proxied"] = counters[i].proxied
+		doc["failovers"] = counters[i].failovers
+		doc["fills_sent"] = counters[i].fillsSent
+		doc["fill_errors"] = counters[i].fillErrors
+		bs[i] = doc
+	}
+	state := "ready"
+	if !ready {
+		state = "no_healthy_backends"
+	}
+	return map[string]any{
+		"uptime_seconds": time.Since(m.start).Seconds(),
+		"state":          state,
+		"requests":       requests,
+		"backends":       bs,
+		"ring": map[string]any{
+			"backends": len(backends),
+			"points":   len(ring.points),
+			"rebuilds": rebuilds,
+		},
+		// scatter_fanout: how many owner groups each batch split into —
+		// "1" means the whole batch shared one owner (perfect affinity).
+		"scatter_fanout": fanout,
+		"fills": map[string]any{
+			"queued":  queued,
+			"dropped": dropped,
+			"backlog": fillBacklog,
+		},
+	}
+}

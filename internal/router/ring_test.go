@@ -1,0 +1,158 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys returns n distinct synthetic partition keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fp2|key=%d", i)
+	}
+	return keys
+}
+
+// ownersByName maps each key to the *address* of its owner, so
+// assignments can be compared across rings whose index order differs.
+func ownersByName(r *hashRing, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		out[k] = r.backends[r.owner(k)]
+	}
+	return out
+}
+
+func TestRingRejectsEmptyAndDuplicate(t *testing.T) {
+	if _, err := newRing(nil, 0); err == nil {
+		t.Error("empty backend list accepted")
+	}
+	if _, err := newRing([]string{"http://a", "http://b", "http://a"}, 0); err == nil {
+		t.Error("duplicate backend accepted")
+	}
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c"}
+	r1, err := newRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := newRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(200) {
+		if r1.owner(k) != r2.owner(k) {
+			t.Fatalf("key %q owner differs between identical rings", k)
+		}
+	}
+}
+
+// TestRingResizeStability is the consistent-hashing contract: growing
+// the ring moves keys only *to* the new backend, and shrinking it moves
+// only the removed backend's keys — every other key→owner assignment is
+// untouched. This is what makes membership changes cheap for the fleet's
+// caches: a resize cold-starts one partition, not all of them.
+func TestRingResizeStability(t *testing.T) {
+	base := []string{"http://a", "http://b", "http://c", "http://d"}
+	keys := testKeys(500)
+	r0, err := newRing(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ownersByName(r0, keys)
+
+	// Grow: add a fifth backend.
+	grown, err := newRing(append(append([]string{}, base...), "http://e"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for k, after := range ownersByName(grown, keys) {
+		if after != before[k] {
+			if after != "http://e" {
+				t.Fatalf("key %q moved %s -> %s on grow; only moves to the new backend are allowed",
+					k, before[k], after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("adding a backend moved no keys at all — it would never take load")
+	}
+	if moved > len(keys)/2 {
+		t.Errorf("adding 1 of 5 backends moved %d/%d keys; expected roughly 1/5", moved, len(keys))
+	}
+
+	// Shrink: drop http://b. Keys b owned must move; nothing else may.
+	shrunk, err := newRing([]string{"http://a", "http://c", "http://d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, after := range ownersByName(shrunk, keys) {
+		if before[k] == "http://b" {
+			if after == "http://b" {
+				t.Fatalf("key %q still owned by removed backend", k)
+			}
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %q moved %s -> %s on shrink of an unrelated backend",
+				k, before[k], after)
+		}
+	}
+}
+
+// TestRingSuccessors checks the failover order: distinct backends, the
+// owner first, and full coverage when n equals the fleet size.
+func TestRingSuccessors(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c", "http://d"}
+	r, err := newRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(100) {
+		succ := r.successors(k, len(backends))
+		if len(succ) != len(backends) {
+			t.Fatalf("successors(%q) = %v, want %d distinct backends", k, succ, len(backends))
+		}
+		if succ[0] != r.owner(k) {
+			t.Fatalf("successors(%q)[0] = %d, owner = %d", k, succ[0], r.owner(k))
+		}
+		seen := make(map[int]bool)
+		for _, b := range succ {
+			if seen[b] {
+				t.Fatalf("successors(%q) = %v repeats backend %d", k, succ, b)
+			}
+			seen[b] = true
+		}
+	}
+	// n larger than the fleet clamps.
+	if got := r.successors("k", 99); len(got) != len(backends) {
+		t.Errorf("successors with n=99 returned %d backends, want %d", len(got), len(backends))
+	}
+}
+
+// TestRingBalance sanity-checks the virtual-node split: with the default
+// 64 vnodes no backend should own a wildly disproportionate key share.
+func TestRingBalance(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c", "http://d"}
+	r, err := newRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	keys := testKeys(4000)
+	for _, k := range keys {
+		counts[r.owner(k)]++
+	}
+	mean := len(keys) / len(backends)
+	for b, c := range counts {
+		if c < mean/3 || c > mean*3 {
+			t.Errorf("backend %d owns %d of %d keys (mean %d) — split too skewed",
+				b, c, len(keys), mean)
+		}
+	}
+}

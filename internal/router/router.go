@@ -1,0 +1,818 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"vabuf/internal/server"
+)
+
+// Config sizes one Router. Zero values select the documented defaults.
+type Config struct {
+	// Backends are the vabufd base URLs forming the ring (required).
+	Backends []string
+	// VNodes is the number of virtual nodes per backend; <=0 selects 64.
+	VNodes int
+	// ProbeInterval/ProbeTimeout drive the background /readyz poller
+	// (defaults 2s / 1s; the interval is jittered ±30%).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// FailAfter/RecoverAfter are the probe hysteresis thresholds
+	// (defaults 2 / 2). A failed proxy attempt bypasses FailAfter: the
+	// backend just dropped a real request and is marked down immediately.
+	FailAfter    int
+	RecoverAfter int
+	// MaxRequestBytes bounds request bodies; <=0 selects 8 MiB.
+	MaxRequestBytes int64
+	// FillQueue bounds the pending peer-cache-fill queue; 0 selects 256,
+	// negative disables peer fill.
+	FillQueue int
+	// FillWait bounds how long a queued fill waits for its owner to
+	// recover before being dropped; <=0 selects 2 minutes.
+	FillWait time.Duration
+	// Client is the proxy HTTP client; nil selects a default without a
+	// global timeout (streams are long-lived; per-attempt deadlines come
+	// from the inbound request context).
+	Client *http.Client
+	// Logf receives operational log lines; nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+	if c.FillQueue == 0 {
+		c.FillQueue = 256
+	}
+	if c.FillWait <= 0 {
+		c.FillWait = 2 * time.Minute
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Router is the vabufr HTTP front: consistent-hash routing, health-aware
+// failover, batch scatter-gather, and peer cache fill over a static set
+// of vabufd backends. Create with New, expose via Handler, Close after
+// the listener has shut down.
+type Router struct {
+	cfg    Config
+	ring   *hashRing
+	prober *prober
+	filler *filler // nil when peer fill is disabled
+	met    *rmetrics
+	mux    *http.ServeMux
+
+	closeOnce sync.Once
+}
+
+// New builds a Router over the configured backends and starts its
+// health prober (and, unless disabled, the peer-fill worker).
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	ring, err := newRing(cfg.Backends, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:  cfg,
+		ring: ring,
+		met:  newRMetrics(len(cfg.Backends)),
+		mux:  http.NewServeMux(),
+	}
+	rt.met.recordRingRebuild()
+	rt.prober = newProber(cfg.Backends, probeConfig{
+		interval:     cfg.ProbeInterval,
+		timeout:      cfg.ProbeTimeout,
+		failAfter:    cfg.FailAfter,
+		recoverAfter: cfg.RecoverAfter,
+	}, cfg.Client, func(backend string, healthy bool, reason string) {
+		if healthy {
+			cfg.Logf("vabufr: backend %s recovered", backend)
+		} else {
+			cfg.Logf("vabufr: backend %s marked down (%s)", backend, reason)
+		}
+	})
+	if cfg.FillQueue > 0 {
+		// Re-check a down owner at a quarter of the probe interval so a
+		// fill lands within one probe of the recovery, bounded to stay
+		// polite on long intervals and responsive in tests.
+		poll := rt.prober.cfg.interval / 4
+		if poll < 5*time.Millisecond {
+			poll = 5 * time.Millisecond
+		}
+		if poll > 500*time.Millisecond {
+			poll = 500 * time.Millisecond
+		}
+		rt.filler = newFiller(cfg.Backends, rt.prober, cfg.Client, rt.met,
+			cfg.FillQueue, cfg.FillWait, poll, cfg.Logf)
+	}
+
+	rt.mux.HandleFunc("POST /v1/insert", rt.single("/v1/insert", "insert"))
+	rt.mux.HandleFunc("POST /v1/yield", rt.single("/v1/yield", "yield"))
+	rt.mux.HandleFunc("POST /v1/yield:stream", rt.stream)
+	rt.mux.HandleFunc("POST /v1/insert:batch", rt.batch("/v1/insert:batch", "insert"))
+	rt.mux.HandleFunc("POST /v1/yield:batch", rt.batch("/v1/yield:batch", "yield"))
+	rt.mux.HandleFunc("GET /v1/benchmarks", rt.anyBackend("/v1/benchmarks"))
+	rt.mux.HandleFunc("GET /healthz", rt.healthz)
+	rt.mux.HandleFunc("GET /readyz", rt.readyz)
+	rt.mux.HandleFunc("GET /metrics", rt.metricsHandler)
+
+	rt.prober.start()
+	return rt, nil
+}
+
+// Handler returns the root handler for an http.Server.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Close stops the prober and the fill worker. Pending fills are dropped —
+// they are an optimization, and the owners will simply recompute.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() {
+		rt.prober.close()
+		if rt.filler != nil {
+			rt.filler.close()
+		}
+	})
+}
+
+// writeJSON emits a JSON body with the vabufd response conventions
+// (indented, Retry-After on overload statuses).
+func (rt *Router) writeJSON(w http.ResponseWriter, endpoint string, status int, body any) {
+	rt.met.recordRequest(endpoint, status)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+func errorBody(err error) server.ErrorResult { return server.ErrorResult{Error: err.Error()} }
+
+// readBody reads the request body under the configured limit, mapping
+// overruns to 413 like the backends do.
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, int, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxRequestBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf(
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("reading request: %w", err)
+	}
+	return body, 0, nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields and trailing
+// data — the router validates exactly as strictly as the backends so a
+// request it answers 400 locally would have been a 400 there too.
+func strictUnmarshal(data []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return fmt.Errorf("request body has trailing data after the JSON document")
+	}
+	return nil
+}
+
+// routingKey normalizes a copy of the request and returns its partition
+// key: the content-addressed fingerprint hashed with an *empty* epoch,
+// so an epoch bump invalidates caches without moving any partition.
+func routingKey(kind string, body []byte) (string, error) {
+	switch kind {
+	case "insert":
+		var req server.InsertRequest
+		if err := strictUnmarshal(body, &req); err != nil {
+			return "", err
+		}
+		if err := req.Normalize(); err != nil {
+			return "", err
+		}
+		return req.Fingerprint(""), nil
+	default: // yield (and its stream)
+		var req server.YieldRequest
+		if err := strictUnmarshal(body, &req); err != nil {
+			return "", err
+		}
+		if err := req.Normalize(); err != nil {
+			return "", err
+		}
+		return req.Fingerprint(""), nil
+	}
+}
+
+// attempt is the outcome of one proxied call that received an HTTP
+// response (transport failures never produce one).
+type attempt struct {
+	backend int
+	status  int
+	header  http.Header
+	body    []byte
+}
+
+// post forwards payload to backend b's path, buffering the response.
+func (rt *Router) post(ctx context.Context, b int, path string, payload []byte) (*attempt, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		rt.cfg.Backends[b]+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &attempt{backend: b, status: resp.StatusCode, header: resp.Header, body: body}, nil
+}
+
+// saturated reports an explicit back-off signal: the backend is up but
+// refusing work (queue full, draining, shedding) — worth trying the next
+// ring node, and surfaced verbatim when the whole ring answers it.
+func saturated(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// tryBackends walks the candidate backends in order: unhealthy ones are
+// skipped (unless none are healthy, in which case everything is tried —
+// probes may simply not have run yet), transport errors mark the backend
+// down and move on, and 429/503 answers are remembered but passed over.
+// It returns the first conclusive answer, or the last saturated one when
+// the whole ring is saturated, or nil when no backend answered at all.
+// The client's context aborting stops the walk — retrying for a caller
+// that hung up only burns backends.
+func (rt *Router) tryBackends(ctx context.Context, order []int, path string, payload []byte) (served, sat *attempt) {
+	healthyExists := false
+	for _, b := range order {
+		if rt.prober.healthy(b) {
+			healthyExists = true
+			break
+		}
+	}
+	for _, b := range order {
+		if ctx.Err() != nil {
+			return nil, sat
+		}
+		if healthyExists && !rt.prober.healthy(b) {
+			continue
+		}
+		att, err := rt.post(ctx, b, path, payload)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, sat
+			}
+			rt.prober.noteProxyError(b, err)
+			continue
+		}
+		if saturated(att.status) {
+			sat = att
+			continue
+		}
+		rt.met.recordProxied(b)
+		return att, sat
+	}
+	return nil, sat
+}
+
+// copyProxied relays a buffered backend response verbatim: status, body,
+// and the headers that matter to clients (content type, backpressure,
+// backend identity).
+func (rt *Router) copyProxied(w http.ResponseWriter, endpoint string, att *attempt) {
+	rt.met.recordRequest(endpoint, att.status)
+	for _, h := range []string{"Content-Type", "Retry-After", "Vabuf-Instance", "Vabuf-Epoch"} {
+		if v := att.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(att.status)
+	w.Write(att.body)
+}
+
+// errNoBackend is the whole-ring-down answer; 503 keeps it retryable for
+// clients already handling backend saturation.
+var errNoBackend = errors.New("no vabufd backend could serve the request; ring is down or unreachable")
+
+// single returns the handler proxying one non-batch endpoint.
+func (rt *Router) single(endpoint, kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, status, err := rt.readBody(w, r)
+		if err != nil {
+			rt.writeJSON(w, endpoint, status, errorBody(err))
+			return
+		}
+		fp, err := routingKey(kind, body)
+		if err != nil {
+			rt.writeJSON(w, endpoint, http.StatusBadRequest, errorBody(err))
+			return
+		}
+		order := rt.ring.successors(fp, len(rt.cfg.Backends))
+		served, sat := rt.tryBackends(r.Context(), order, endpoint, body)
+		switch {
+		case served != nil:
+			if served.backend != order[0] {
+				rt.met.recordFailover(order[0])
+				rt.maybeFill(kind, order[0], body, served)
+			}
+			rt.copyProxied(w, endpoint, served)
+		case sat != nil:
+			rt.copyProxied(w, endpoint, sat)
+		default:
+			rt.writeJSON(w, endpoint, http.StatusServiceUnavailable, errorBody(errNoBackend))
+		}
+	}
+}
+
+// maybeFill enqueues a peer cache fill for a failover-served success.
+func (rt *Router) maybeFill(kind string, owner int, reqBody []byte, served *attempt) {
+	if rt.filler == nil || served.status != http.StatusOK {
+		return
+	}
+	epoch := served.header.Get("Vabuf-Epoch")
+	rt.filler.enqueue(fillJob{
+		owner:   owner,
+		kind:    kind,
+		epoch:   epoch,
+		request: json.RawMessage(reqBody),
+		result:  json.RawMessage(served.body),
+	})
+}
+
+// stream proxies POST /v1/yield:stream. Failover happens only up to the
+// first accepted response: once NDJSON bytes have been flushed to the
+// client, a mid-stream backend death cannot be replayed transparently
+// (the client has already seen part of the event stream) and surfaces as
+// a truncated stream the client retries.
+func (rt *Router) stream(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/v1/yield:stream"
+	body, status, err := rt.readBody(w, r)
+	if err != nil {
+		rt.writeJSON(w, endpoint, status, errorBody(err))
+		return
+	}
+	fp, err := routingKey("yield", body)
+	if err != nil {
+		rt.writeJSON(w, endpoint, http.StatusBadRequest, errorBody(err))
+		return
+	}
+	order := rt.ring.successors(fp, len(rt.cfg.Backends))
+	healthyExists := false
+	for _, b := range order {
+		if rt.prober.healthy(b) {
+			healthyExists = true
+			break
+		}
+	}
+	var sat *http.Response
+	for _, b := range order {
+		if r.Context().Err() != nil {
+			return
+		}
+		if healthyExists && !rt.prober.healthy(b) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			rt.cfg.Backends[b]+endpoint, bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rt.cfg.Client.Do(req)
+		if err != nil {
+			if r.Context().Err() == nil {
+				rt.prober.noteProxyError(b, err)
+			}
+			continue
+		}
+		if saturated(resp.StatusCode) {
+			if sat != nil {
+				sat.Body.Close()
+			}
+			sat = resp
+			continue
+		}
+		if b != order[0] {
+			rt.met.recordFailover(order[0])
+		}
+		rt.met.recordProxied(b)
+		if sat != nil {
+			sat.Body.Close()
+		}
+		rt.relayStream(w, endpoint, resp)
+		return
+	}
+	if sat != nil {
+		defer sat.Body.Close()
+		satBody, _ := io.ReadAll(io.LimitReader(sat.Body, rt.cfg.MaxRequestBytes))
+		rt.copyProxied(w, endpoint, &attempt{
+			status: sat.StatusCode, header: sat.Header, body: satBody})
+		return
+	}
+	rt.writeJSON(w, endpoint, http.StatusServiceUnavailable, errorBody(errNoBackend))
+}
+
+// relayStream copies an accepted streaming response chunk by chunk,
+// flushing after every read so progress events reach the client as the
+// backend emits them.
+func (rt *Router) relayStream(w http.ResponseWriter, endpoint string, resp *http.Response) {
+	defer resp.Body.Close()
+	rt.met.recordRequest(endpoint, resp.StatusCode)
+	for _, h := range []string{"Content-Type", "Vabuf-Instance", "Vabuf-Epoch"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return // client gone; backend stops via context propagation
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// anyBackend proxies a read-only GET (e.g. /v1/benchmarks) to the first
+// healthy backend — they all answer identically.
+func (rt *Router) anyBackend(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		for b := range rt.cfg.Backends {
+			if !rt.prober.healthy(b) {
+				continue
+			}
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+				rt.cfg.Backends[b]+path, nil)
+			if err != nil {
+				continue
+			}
+			resp, err := rt.cfg.Client.Do(req)
+			if err != nil {
+				rt.prober.noteProxyError(b, err)
+				continue
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				continue
+			}
+			rt.met.recordProxied(b)
+			rt.copyProxied(w, path, &attempt{
+				backend: b, status: resp.StatusCode, header: resp.Header, body: body})
+			return
+		}
+		rt.writeJSON(w, path, http.StatusServiceUnavailable, errorBody(errNoBackend))
+	}
+}
+
+func (rt *Router) healthz(w http.ResponseWriter, _ *http.Request) {
+	rt.writeJSON(w, "/healthz", http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// readyz answers 200 once at least one backend is healthy — before that
+// the router could only answer 503s, so it should not take traffic.
+func (rt *Router) readyz(w http.ResponseWriter, _ *http.Request) {
+	if rt.prober.anyHealthy() {
+		rt.writeJSON(w, "/readyz", http.StatusOK, map[string]any{"status": "ready"})
+		return
+	}
+	rt.writeJSON(w, "/readyz", http.StatusServiceUnavailable,
+		map[string]any{"status": "no_healthy_backends"})
+}
+
+func (rt *Router) metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	backlog := 0
+	if rt.filler != nil {
+		backlog = rt.filler.backlog()
+	}
+	rt.writeJSON(w, "/metrics", http.StatusOK,
+		rt.met.snapshot(rt.cfg.Backends, rt.prober, rt.ring, backlog, rt.prober.anyHealthy()))
+}
+
+// --- batch scatter-gather ---
+
+// rawBatch is the kind-agnostic shape of a batch request: items stay raw
+// so one scatter implementation serves both insert and yield.
+type rawBatch struct {
+	Defaults json.RawMessage   `json:"defaults,omitempty"`
+	Items    []json.RawMessage `json:"items"`
+}
+
+// rawBatchItem mirrors server.BatchItemResult / BatchYieldItemResult
+// with the result kept raw — reassembled sub-batch answers round-trip
+// byte-identically.
+type rawBatchItem struct {
+	Index  int             `json:"index"`
+	Status int             `json:"status"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// rawBatchResult is the aggregate response shape (both kinds).
+type rawBatchResult struct {
+	Items     []rawBatchItem `json:"items"`
+	Succeeded int            `json:"succeeded"`
+	Errors    int            `json:"errors"`
+}
+
+// preparedItem is one batch item after defaults + normalization: its
+// routing state plus the normalized payload forwarded in the sub-batch.
+type preparedItem struct {
+	index   int
+	owner   int   // ring owner (order[0]) — the fill target
+	order   []int // full successor order of the item's fingerprint
+	payload json.RawMessage
+}
+
+// prepareItem applies the batch defaults and normalizes one item,
+// returning its fingerprint and normalized payload.
+func prepareItem(kind string, defaults, item json.RawMessage) (fp string, payload json.RawMessage, err error) {
+	switch kind {
+	case "insert":
+		var d *server.InsertRequest
+		if len(defaults) > 0 {
+			d = new(server.InsertRequest)
+			if err := strictUnmarshal(defaults, d); err != nil {
+				return "", nil, err
+			}
+		}
+		var req server.InsertRequest
+		if err := strictUnmarshal(item, &req); err != nil {
+			return "", nil, err
+		}
+		req.ApplyDefaults(d)
+		if err := req.Normalize(); err != nil {
+			return "", nil, err
+		}
+		payload, err := json.Marshal(req)
+		if err != nil {
+			return "", nil, err
+		}
+		return req.Fingerprint(""), payload, nil
+	default: // yield
+		var d *server.YieldRequest
+		if len(defaults) > 0 {
+			d = new(server.YieldRequest)
+			if err := strictUnmarshal(defaults, d); err != nil {
+				return "", nil, err
+			}
+		}
+		var req server.YieldRequest
+		if err := strictUnmarshal(item, &req); err != nil {
+			return "", nil, err
+		}
+		req.ApplyDefaults(d)
+		if err := req.Normalize(); err != nil {
+			return "", nil, err
+		}
+		payload, err := json.Marshal(req)
+		if err != nil {
+			return "", nil, err
+		}
+		return req.Fingerprint(""), payload, nil
+	}
+}
+
+// batch returns the scatter-gather handler of one batch endpoint: split
+// the items per ring owner, fan the sub-batches out concurrently (each
+// with the usual failover walk), and reassemble the per-item results in
+// the original order with single-backend partial-failure semantics.
+func (rt *Router) batch(endpoint, kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, status, err := rt.readBody(w, r)
+		if err != nil {
+			rt.writeJSON(w, endpoint, status, errorBody(err))
+			return
+		}
+		var breq rawBatch
+		if err := strictUnmarshal(body, &breq); err != nil {
+			rt.writeJSON(w, endpoint, http.StatusBadRequest, errorBody(err))
+			return
+		}
+		if len(breq.Items) == 0 {
+			rt.writeJSON(w, endpoint, http.StatusBadRequest,
+				errorBody(fmt.Errorf(`"items" must contain at least one request`)))
+			return
+		}
+
+		out := rawBatchResult{Items: make([]rawBatchItem, len(breq.Items))}
+		// Split: invalid items answer their 400 locally (parity with the
+		// backend's per-item validation); valid ones group under the
+		// first *healthy* backend of their successor order so a dead
+		// owner's items fail over together instead of one by one.
+		groups := make(map[int][]preparedItem)
+		for i, raw := range breq.Items {
+			out.Items[i].Index = i
+			fp, payload, err := prepareItem(kind, breq.Defaults, raw)
+			if err != nil {
+				out.Items[i].Status, out.Items[i].Error = http.StatusBadRequest, err.Error()
+				continue
+			}
+			order := rt.ring.successors(fp, len(rt.cfg.Backends))
+			target := order[0]
+			for _, b := range order {
+				if rt.prober.healthy(b) {
+					target = b
+					break
+				}
+			}
+			groups[target] = append(groups[target], preparedItem{
+				index: i, owner: order[0], order: order, payload: payload})
+		}
+		rt.met.recordFanout(len(groups))
+
+		// Scatter concurrently; each group writes only its own items.
+		type groupOutcome struct {
+			target int
+			att    *attempt // HTTP answer (any status), nil on transport exhaustion
+			sat    *attempt
+			items  []preparedItem
+		}
+		outcomes := make(chan groupOutcome, len(groups))
+		for target, items := range groups {
+			go func(target int, items []preparedItem) {
+				payloads := make([]json.RawMessage, len(items))
+				for j, it := range items {
+					payloads[j] = it.payload
+				}
+				sub, _ := json.Marshal(rawBatch{Items: payloads})
+				served, sat := rt.tryBackends(r.Context(), rt.groupOrder(target, items), endpoint, sub)
+				outcomes <- groupOutcome{target: target, att: served, sat: sat, items: items}
+			}(target, items)
+		}
+
+		groupsOK, groupsSat429, groupsSat503, groupsDead := 0, 0, 0, 0
+		var retryAfter string
+		for range groups {
+			oc := <-outcomes
+			switch {
+			case oc.att != nil && oc.att.status == http.StatusOK:
+				groupsOK++
+				rt.gatherGroup(kind, endpoint, &out, oc.att, oc.items)
+			case oc.att != nil:
+				// A conclusive non-200 aggregate (e.g. 400 batch too
+				// large): every item of the group inherits it.
+				groupsOK++ // conclusively answered, not saturation
+				var e server.ErrorResult
+				json.Unmarshal(oc.att.body, &e)
+				for _, it := range oc.items {
+					out.Items[it.index].Status = oc.att.status
+					out.Items[it.index].Error = e.Error
+				}
+			case oc.sat != nil:
+				if oc.sat.status == http.StatusTooManyRequests {
+					groupsSat429++
+				} else {
+					groupsSat503++
+				}
+				if ra := oc.sat.header.Get("Retry-After"); ra != "" {
+					retryAfter = ra
+				}
+				var e server.ErrorResult
+				json.Unmarshal(oc.sat.body, &e)
+				for _, it := range oc.items {
+					out.Items[it.index].Status = oc.sat.status
+					out.Items[it.index].Error = e.Error
+				}
+			default:
+				groupsDead++
+				for _, it := range oc.items {
+					out.Items[it.index].Status = http.StatusServiceUnavailable
+					out.Items[it.index].Error = errNoBackend.Error()
+				}
+			}
+		}
+		for i := range out.Items {
+			if out.Items[i].Status == http.StatusOK {
+				out.Succeeded++
+			} else {
+				out.Errors++
+			}
+		}
+		// Aggregate parity with a single backend: partial failure never
+		// fails the batch; only a batch where no group got work enqueued
+		// answers 503 (draining/shedding/dead ring) or 429 (queues full).
+		status = http.StatusOK
+		if groupsOK == 0 {
+			switch {
+			case groupsSat503 > 0 || groupsDead > 0:
+				status = http.StatusServiceUnavailable
+			case groupsSat429 > 0:
+				status = http.StatusTooManyRequests
+			}
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+		}
+		rt.writeJSON(w, endpoint, status, out)
+	}
+}
+
+// groupOrder is the failover order of one scatter group: the target
+// first, then the remaining backends in the first item's ring order —
+// after the target, cache affinity is already lost, so any order works,
+// but ring order keeps retries deterministic.
+func (rt *Router) groupOrder(target int, items []preparedItem) []int {
+	order := []int{target}
+	seen := map[int]bool{target: true}
+	if len(items) > 0 {
+		for _, b := range items[0].order {
+			if !seen[b] {
+				seen[b] = true
+				order = append(order, b)
+			}
+		}
+	}
+	for b := range rt.cfg.Backends {
+		if !seen[b] {
+			seen[b] = true
+			order = append(order, b)
+		}
+	}
+	return order
+}
+
+// gatherGroup maps one sub-batch answer back to the aggregate by
+// original index and enqueues peer fills for failover-served items.
+func (rt *Router) gatherGroup(kind, endpoint string, out *rawBatchResult, att *attempt, items []preparedItem) {
+	var sub rawBatchResult
+	if err := json.Unmarshal(att.body, &sub); err != nil || len(sub.Items) != len(items) {
+		for _, it := range items {
+			out.Items[it.index].Status = http.StatusBadGateway
+			out.Items[it.index].Error = fmt.Sprintf(
+				"backend answered an unparsable sub-batch (%d items for %d sent)",
+				len(sub.Items), len(items))
+		}
+		return
+	}
+	epoch := att.header.Get("Vabuf-Epoch")
+	for j, it := range items {
+		res := sub.Items[j]
+		out.Items[it.index].Status = res.Status
+		out.Items[it.index].Result = res.Result
+		out.Items[it.index].Error = res.Error
+		if it.owner != att.backend {
+			rt.met.recordFailover(it.owner)
+			if rt.filler != nil && res.Status == http.StatusOK {
+				rt.filler.enqueue(fillJob{
+					owner:   it.owner,
+					kind:    kind,
+					epoch:   epoch,
+					request: it.payload,
+					result:  res.Result,
+				})
+			}
+		}
+	}
+}
+
+// ownersOf reports the distinct ring owners of a key set — test helper
+// for asserting scatter grouping.
+func (rt *Router) ownersOf(keys []string) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, k := range keys {
+		o := rt.ring.owner(k)
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

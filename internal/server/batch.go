@@ -105,12 +105,12 @@ func (s *Server) insertBatch(r *http.Request) (int, any) {
 		item := &out.Items[i]
 		item.Index = i
 		req := breq.Items[i]
-		req.applyDefaults(breq.Defaults)
-		if err := req.normalize(); err != nil {
+		req.ApplyDefaults(breq.Defaults)
+		if err := req.Normalize(); err != nil {
 			item.Status, item.Error = http.StatusBadRequest, err.Error()
 			continue
 		}
-		fp := req.Fingerprint()
+		fp := req.Fingerprint(s.cfg.Epoch)
 		if v, ok := s.resultGet(fp); ok {
 			item.Status, item.Result = http.StatusOK, v.(*InsertResult)
 			continue
@@ -199,12 +199,12 @@ func (s *Server) yieldBatch(r *http.Request) (int, any) {
 		item := &out.Items[i]
 		item.Index = i
 		req := breq.Items[i]
-		req.applyDefaults(breq.Defaults)
-		if err := req.normalize(); err != nil {
+		req.ApplyDefaults(breq.Defaults)
+		if err := req.Normalize(); err != nil {
 			item.Status, item.Error = http.StatusBadRequest, err.Error()
 			continue
 		}
-		fp := req.Fingerprint()
+		fp := req.Fingerprint(s.cfg.Epoch)
 		if v, ok := s.resultGet(fp); ok {
 			item.Status, item.Result = http.StatusOK, v.(*YieldResult)
 			continue

@@ -220,9 +220,11 @@ func CheckUnitInterval(name string, v float64) error {
 	return nil
 }
 
-// normalize fills defaults and validates the request, returning an error
-// suitable for a 400 response.
-func (r *InsertRequest) normalize() error {
+// Normalize fills defaults and validates the request, returning an error
+// suitable for a 400 response. It is exported for the vabufr router,
+// which normalizes a copy of each request to compute its routing
+// fingerprint exactly as the owning backend will.
+func (r *InsertRequest) Normalize() error {
 	switch {
 	case r.Bench != "" && r.Tree != "":
 		return fmt.Errorf(`give either "bench" or "tree", not both`)
@@ -281,9 +283,9 @@ func (r *InsertRequest) normalize() error {
 	return nil
 }
 
-// normalize fills defaults and validates the yield request.
-func (r *YieldRequest) normalize() error {
-	if err := r.InsertRequest.normalize(); err != nil {
+// Normalize fills defaults and validates the yield request.
+func (r *YieldRequest) Normalize() error {
+	if err := r.InsertRequest.Normalize(); err != nil {
 		return err
 	}
 	if r.MonteCarlo < 0 || r.MonteCarlo > 1_000_000 {
@@ -301,11 +303,12 @@ func (r *YieldRequest) normalize() error {
 	return nil
 }
 
-// applyDefaults fills the zero-valued fields of r from d — the
+// ApplyDefaults fills the zero-valued fields of r from d — the
 // shared-defaults block of a batch request. An item that states a field
 // always wins; booleans merge only from false, so a default can enable
-// but never disable an option per item.
-func (r *InsertRequest) applyDefaults(d *InsertRequest) {
+// but never disable an option per item. Exported for the vabufr router,
+// which resolves defaults before splitting a batch across owners.
+func (r *InsertRequest) ApplyDefaults(d *InsertRequest) {
 	if d == nil {
 		return
 	}
@@ -353,12 +356,12 @@ func (r *InsertRequest) applyDefaults(d *InsertRequest) {
 	}
 }
 
-// applyDefaults fills the zero-valued fields of r from d.
-func (r *YieldRequest) applyDefaults(d *YieldRequest) {
+// ApplyDefaults fills the zero-valued fields of r from d.
+func (r *YieldRequest) ApplyDefaults(d *YieldRequest) {
 	if d == nil {
 		return
 	}
-	r.InsertRequest.applyDefaults(&d.InsertRequest)
+	r.InsertRequest.ApplyDefaults(&d.InsertRequest)
 	if r.MonteCarlo == 0 {
 		r.MonteCarlo = d.MonteCarlo
 	}

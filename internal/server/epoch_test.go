@@ -1,0 +1,150 @@
+package server
+
+// Cache-epoch tests. The epoch is a version string mixed into result
+// fingerprints (but not into the router's empty-epoch routing keys):
+// bumping it — after a buffer-library or variation-model change —
+// invalidates every cached result fleet-wide, including results
+// persisted in snapshots, without moving any ring partition.
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"testing"
+)
+
+func TestEpochChangesFingerprintButNotRoutingKey(t *testing.T) {
+	mk := func() InsertRequest {
+		r := InsertRequest{Tree: smallTreeText(t), Algo: "wid"}
+		if err := r.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := mk(), mk()
+	if a.Fingerprint("v1") == b.Fingerprint("v2") {
+		t.Error("epoch bump did not change the cache fingerprint")
+	}
+	if a.Fingerprint("") != b.Fingerprint("") {
+		t.Error("empty-epoch routing key is not stable across calls")
+	}
+	if a.Fingerprint("v1") != b.Fingerprint("v1") {
+		t.Error("same-epoch fingerprints of identical requests differ")
+	}
+}
+
+// TestEpochBumpInvalidatesWarmSnapshot is the fleet-wide invalidation
+// path: a warm result cache snapshotted under epoch v1 must not serve
+// hits after a restart with -epoch v2 — the restored entries are keyed
+// by v1 fingerprints, which no v2 lookup ever computes.
+func TestEpochBumpInvalidatesWarmSnapshot(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "epoch.snapshot")
+	req := InsertRequest{Tree: smallTreeText(t), Algo: "wid"}
+
+	// Warm under v1 and verify the repeat hits, then snapshot.
+	s1, ts1 := newTestServer(t, Config{Workers: 2, Epoch: "v1"})
+	for i := 0; i < 2; i++ {
+		if resp, raw := postJSON(t, ts1.URL+"/v1/insert", req); resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm-up insert %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+	var met map[string]any
+	getJSON(t, ts1.URL+"/metrics", &met)
+	result := met["caches"].(map[string]any)["result"].(map[string]any)
+	if hits := result["hits"].(float64); hits < 1 {
+		t.Fatalf("v1 repeat missed its own warm cache (hits = %g)", hits)
+	}
+	if err := s1.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same epoch restore: the warm hit survives the restart (control).
+	sSame, tsSame := newTestServer(t, Config{Workers: 2, Epoch: "v1"})
+	if _, err := sSame.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if resp, raw := postJSON(t, tsSame.URL+"/v1/insert", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("same-epoch insert: status %d: %s", resp.StatusCode, raw)
+	}
+	getJSON(t, tsSame.URL+"/metrics", &met)
+	result = met["caches"].(map[string]any)["result"].(map[string]any)
+	if hits := result["hits"].(float64); hits < 1 {
+		t.Errorf("same-epoch restore lost the warm hit (hits = %g)", hits)
+	}
+
+	// Bumped epoch restore: the identical request must recompute.
+	s2, ts2 := newTestServer(t, Config{Workers: 2, Epoch: "v2"})
+	if _, err := s2.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if resp, raw := postJSON(t, ts2.URL+"/v1/insert", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-bump insert: status %d: %s", resp.StatusCode, raw)
+	}
+	getJSON(t, ts2.URL+"/metrics", &met)
+	result = met["caches"].(map[string]any)["result"].(map[string]any)
+	if hits := result["hits"].(float64); hits != 0 {
+		t.Errorf("epoch-bumped instance served %g hits from a stale snapshot", hits)
+	}
+}
+
+// TestCacheFillEpochGuard: /v1/cache/fill refuses a fill computed under
+// another epoch with 409 and admits a matching one, which then serves
+// the repeat of the original request from cache.
+func TestCacheFillEpochGuard(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, Epoch: "v2"})
+	req := InsertRequest{Tree: smallTreeText(t), Algo: "nom"}
+
+	// Compute a legitimate result to replay (any instance's answer works;
+	// here the same instance plays the "serving sibling").
+	resp, raw := postJSON(t, ts.URL+"/v1/insert", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed insert: status %d: %s", resp.StatusCode, raw)
+	}
+	reqJSON, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stale epoch: refused, nothing stored.
+	fill := CacheFillRequest{Kind: "insert", Epoch: "v1", Request: reqJSON, Result: raw}
+	if resp, body := postJSON(t, ts.URL+"/v1/cache/fill", fill); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale-epoch fill: status %d, want 409: %s", resp.StatusCode, body)
+	}
+
+	// Matching epoch: stored under the instance's own fingerprint.
+	fill.Epoch = "v2"
+	respOK, body := postJSON(t, ts.URL+"/v1/cache/fill", fill)
+	if respOK.StatusCode != http.StatusOK {
+		t.Fatalf("matching-epoch fill: status %d: %s", respOK.StatusCode, body)
+	}
+	var out CacheFillResult
+	if err := json.Unmarshal(body, &out); err != nil || !out.Stored {
+		t.Fatalf("fill not stored: %s", body)
+	}
+	var norm InsertRequest
+	if err := json.Unmarshal(reqJSON, &norm); err != nil {
+		t.Fatal(err)
+	}
+	if err := norm.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if want := norm.Fingerprint("v2"); out.Fingerprint != want {
+		t.Errorf("fill stored under %q, want the instance's own fingerprint %q", out.Fingerprint, want)
+	}
+
+	// Unknown kind is rejected before touching the cache.
+	bad := CacheFillRequest{Kind: "mystery", Epoch: "v2", Request: reqJSON, Result: raw}
+	if resp, body := postJSON(t, ts.URL+"/v1/cache/fill", bad); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown-kind fill: status %d, want 400: %s", resp.StatusCode, body)
+	}
+
+	var met map[string]any
+	getJSON(t, ts.URL+"/metrics", &met)
+	pf := met["peer_fills"].(map[string]any)
+	if acc := pf["accepted"].(float64); acc != 1 {
+		t.Errorf("peer_fills.accepted = %g, want 1", acc)
+	}
+	if rej := pf["rejected"].(float64); rej < 2 {
+		t.Errorf("peer_fills.rejected = %g, want >= 2", rej)
+	}
+}

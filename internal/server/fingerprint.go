@@ -11,6 +11,14 @@ package server
 // cache answers the second from memory, and the in-flight registry
 // coalesces concurrent ones onto a single worker.
 //
+// The cache epoch (Config.Epoch, the vabufd -epoch flag) is mixed in as
+// well: it names the buffer-library / device-model generation the
+// instance serves, so bumping it fleet-wide turns every previously
+// cached result cold instead of silently pinning results computed
+// against the old library. The vabufr router hashes the same
+// fingerprint with an *empty* epoch as its partition key — an epoch
+// bump invalidates caches without reshuffling request ownership.
+//
 // Yield fingerprints do include the sampler identity: monte_carlo,
 // seed, mc_tol, and whether the sharded stream was selected
 // (parallelism > 1), because those change the sample vector and with it
@@ -25,24 +33,28 @@ import (
 
 // fingerprintVersion is folded into every fingerprint so a change to the
 // inclusion set can never serve a stale cached result after an upgrade.
-const fingerprintVersion = "fp1"
+// fp2 added the cache epoch.
+const fingerprintVersion = "fp2"
 
 // writeFingerprint streams the output-affecting fields of a normalized
-// insert request. kind separates the insert and yield result spaces.
-func (r *InsertRequest) writeFingerprint(w io.Writer, kind string) {
+// insert request. kind separates the insert and yield result spaces;
+// epoch is the instance's cache epoch ("" for routing keys).
+func (r *InsertRequest) writeFingerprint(w io.Writer, kind, epoch string) {
 	fmt.Fprintf(w,
-		"%s\x00%s\x00tree=%s\x00algo=%s\x00rule=%s\x00pbar=%g\x00budget=%g\x00hetero=%t\x00q=%g\x00maxcand=%d\x00ws=%t\x00inv=%t\x00assign=%t",
-		fingerprintVersion, kind, treeCacheKey(r), r.Algo, r.Rule, r.Pbar,
+		"%s\x00%s\x00epoch=%s\x00tree=%s\x00algo=%s\x00rule=%s\x00pbar=%g\x00budget=%g\x00hetero=%t\x00q=%g\x00maxcand=%d\x00ws=%t\x00inv=%t\x00assign=%t",
+		fingerprintVersion, kind, epoch, treeCacheKey(r), r.Algo, r.Rule, r.Pbar,
 		r.Budget, r.heterogeneous(), r.Quantile, r.MaxCandidates,
 		r.WireSizing, r.Inverters, r.IncludeAssignment)
 }
 
 // Fingerprint returns the content-addressed result-cache key of a
-// normalized insert request. Call it only after normalize() — the
-// normalization is what makes semantically-equal spellings hash equal.
-func (r *InsertRequest) Fingerprint() string {
+// normalized insert request under the given cache epoch. Call it only
+// after Normalize() — the normalization is what makes semantically-equal
+// spellings hash equal. Routing callers (vabufr) pass epoch "": the
+// partition key must survive an epoch bump unchanged.
+func (r *InsertRequest) Fingerprint(epoch string) string {
 	h := sha256.New()
-	r.writeFingerprint(h, "insert")
+	r.writeFingerprint(h, "insert", epoch)
 	return "ins:" + hex.EncodeToString(h.Sum(nil))
 }
 
@@ -65,9 +77,9 @@ func (r *YieldRequest) mcSampler() string {
 // Fingerprint returns the content-addressed result-cache key of a
 // normalized yield request: the insert fingerprint fields plus the
 // Monte-Carlo recipe.
-func (r *YieldRequest) Fingerprint() string {
+func (r *YieldRequest) Fingerprint(epoch string) string {
 	h := sha256.New()
-	r.InsertRequest.writeFingerprint(h, "yield")
+	r.InsertRequest.writeFingerprint(h, "yield", epoch)
 	fmt.Fprintf(h, "\x00mc=%d\x00seed=%d\x00sampler=%s\x00tol=%g",
 		r.MonteCarlo, r.Seed, r.mcSampler(), r.MCTol)
 	return "yld:" + hex.EncodeToString(h.Sum(nil))

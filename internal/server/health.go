@@ -65,6 +65,10 @@ func (s *Server) readyz(*http.Request) (int, any) {
 	body := map[string]any{
 		"status":         state,
 		"uptime_seconds": time.Since(s.met.start).Seconds(),
+		// instance and epoch let a probing router attribute this backend
+		// and tag peer cache fills without a separate /metrics call.
+		"instance": s.InstanceID(),
+		"epoch":    s.cfg.Epoch,
 	}
 	if state != stateReady {
 		return http.StatusServiceUnavailable, body

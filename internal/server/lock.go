@@ -1,0 +1,88 @@
+package server
+
+// Snapshot path locking. Two vabufd instances pointed at the same
+// -snapshot file would alternately rename their atomic rewrites over
+// each other: no corruption of any single file read, but each boot
+// would restore the *other* instance's cache and every drain would
+// silently discard half the fleet's warm-up — a footgun the moment
+// someone launches a local fleet with copy-pasted flags. LockSnapshot
+// makes the collision a clear startup error instead.
+//
+// The lock is a pid-stamped file beside the snapshot (O_CREATE|O_EXCL,
+// so creation is atomic on every filesystem the daemon runs on). A
+// crashed instance leaves its lock behind; acquisition treats a lock
+// whose pid no longer names a live process as stale and takes it over,
+// so a kill -9 never requires manual cleanup.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// LockSnapshot acquires the exclusive lock guarding a snapshot path and
+// returns the release function (remove the lock file; call it after the
+// final snapshot write on shutdown). It fails with a descriptive error
+// when another live process holds the lock — the "two instances, one
+// snapshot" misconfiguration — and silently takes over stale locks left
+// by crashed processes.
+func LockSnapshot(path string) (release func(), err error) {
+	lockPath := path + ".lock"
+	// Two attempts: the second runs only after a stale lock was removed,
+	// and a loss of the re-create race means a live competitor — report it.
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(lockPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "%d\n", os.Getpid())
+			if err := f.Close(); err != nil {
+				os.Remove(lockPath)
+				return nil, fmt.Errorf("writing snapshot lock %s: %w", lockPath, err)
+			}
+			return func() { os.Remove(lockPath) }, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("creating snapshot lock %s: %w", lockPath, err)
+		}
+		pid, readErr := readLockPID(lockPath)
+		if readErr == nil && pidAlive(pid) {
+			return nil, fmt.Errorf(
+				"snapshot %s is locked by running process %d (lock file %s): "+
+					"two vabufd instances must not share a snapshot path — "+
+					"give each instance its own -snapshot file", path, pid, lockPath)
+		}
+		// Unreadable or stale lock: the owner is gone (crash, reboot);
+		// remove it and retry the exclusive create once.
+		if err := os.Remove(lockPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("removing stale snapshot lock %s: %w", lockPath, err)
+		}
+	}
+	return nil, fmt.Errorf("snapshot lock %s: lost the takeover race to another instance", lockPath)
+}
+
+// readLockPID parses the pid stamped into a lock file.
+func readLockPID(lockPath string) (int, error) {
+	raw, err := os.ReadFile(lockPath)
+	if err != nil {
+		return 0, err
+	}
+	pid, err := strconv.Atoi(strings.TrimSpace(string(raw)))
+	if err != nil || pid <= 0 {
+		return 0, fmt.Errorf("lock file %s holds no pid: %q", lockPath, raw)
+	}
+	return pid, nil
+}
+
+// pidAlive reports whether pid names a live process. Signal 0 probes
+// existence without delivering anything; EPERM still means alive (owned
+// by another user), only ESRCH means gone.
+func pidAlive(pid int) bool {
+	proc, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = proc.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLockSnapshotRefusesLiveHolder(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "caches.snap")
+	release, err := LockSnapshot(snap)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	defer release()
+
+	// Second acquisition from the same (live) process must refuse with a
+	// message that names the holder and the misconfiguration.
+	if _, err := LockSnapshot(snap); err == nil {
+		t.Fatal("second acquire succeeded while the lock was held")
+	} else {
+		for _, want := range []string{fmt.Sprint(os.Getpid()), "share a snapshot path"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("lock error %q does not mention %q", err, want)
+			}
+		}
+	}
+
+	// Releasing frees the path for the next instance.
+	release()
+	release2, err := LockSnapshot(snap)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	release2()
+}
+
+func TestLockSnapshotTakesOverStaleLock(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "caches.snap")
+	lock := snap + ".lock"
+
+	// A lock stamped with a pid that cannot be running (beyond
+	// kernel.pid_max) is stale: a crashed instance left it behind.
+	if err := os.WriteFile(lock, []byte("2147483646\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	release, err := LockSnapshot(snap)
+	if err != nil {
+		t.Fatalf("acquire over stale lock: %v", err)
+	}
+	release()
+
+	// A garbage lock file (no pid) is likewise taken over, not fatal.
+	if err := os.WriteFile(lock, []byte("not a pid"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	release, err = LockSnapshot(snap)
+	if err != nil {
+		t.Fatalf("acquire over garbage lock: %v", err)
+	}
+	release()
+
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Errorf("lock file still present after release: %v", err)
+	}
+}

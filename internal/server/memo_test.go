@@ -20,18 +20,18 @@ import (
 // key — the same key the serve path computes.
 func fingerprintOf(t *testing.T, req InsertRequest) string {
 	t.Helper()
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		t.Fatalf("normalize: %v", err)
 	}
-	return req.Fingerprint()
+	return req.Fingerprint("")
 }
 
 func yieldFingerprintOf(t *testing.T, req YieldRequest) string {
 	t.Helper()
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		t.Fatalf("normalize: %v", err)
 	}
-	return req.Fingerprint()
+	return req.Fingerprint("")
 }
 
 // pruningRuns reads the lifetime DP-run counter from /metrics.

@@ -88,6 +88,11 @@ type metrics struct {
 	// endpoints count intra-batch duplicate items here too.
 	coalesced map[string]int64
 	snap      snapshotCounters
+	// peerFills counts /v1/cache/fill admissions: accepted entries stored
+	// in the result cache, rejected ones refused (epoch mismatch or
+	// malformed fill).
+	peerFillsAccepted int64
+	peerFillsRejected int64
 }
 
 func newMetrics() *metrics {
@@ -119,6 +124,17 @@ func (m *metrics) panicRecovered(endpoint string, v any) error {
 	m.mu.Unlock()
 	log.Printf("%s: recovered panic in job: %v\n%s", endpoint, v, debug.Stack())
 	return fmt.Errorf("internal panic in insertion job (recovered): %v", v)
+}
+
+// recordPeerFill counts one /v1/cache/fill admission outcome.
+func (m *metrics) recordPeerFill(accepted bool) {
+	m.mu.Lock()
+	if accepted {
+		m.peerFillsAccepted++
+	} else {
+		m.peerFillsRejected++
+	}
+	m.mu.Unlock()
 }
 
 // recordShed counts a sweep-class submission rejected by the shed gate.
@@ -231,6 +247,10 @@ func (m *metrics) snapshot(pool *workerPool, trees, models, results *lruCache,
 	for ep, n := range m.coalesced {
 		coalesced[ep] = n
 	}
+	peerFills := map[string]any{
+		"accepted": m.peerFillsAccepted,
+		"rejected": m.peerFillsRejected,
+	}
 	snap := map[string]any{
 		"restored_trees":   m.snap.restoredTrees,
 		"restored_models":  m.snap.restoredModels,
@@ -268,6 +288,10 @@ func (m *metrics) snapshot(pool *workerPool, trees, models, results *lruCache,
 		// snapshot tracks cache persistence: restore/skip counts from
 		// warm restarts plus save attempts and failures.
 		"snapshot": snap,
+		// peer_fills tracks /v1/cache/fill: results replayed by a router
+		// after serving a failover miss, accepted into the result cache
+		// or refused (epoch mismatch / malformed).
+		"peer_fills": peerFills,
 		// depth/capacity/rejected keep their pre-priority-queue meaning
 		// (existing dashboards); "classes" splits them per class with
 		// queue-wait latency histograms.

@@ -22,6 +22,7 @@ import (
 	"net/http/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vabuf"
@@ -79,6 +80,18 @@ type Config struct {
 	// while interactive work keeps its normal admission path. 0 disables
 	// shedding.
 	ShedAfter time.Duration
+	// Epoch is the cache epoch: a buffer-library / device-model version
+	// string mixed into every result fingerprint. Bumping it (the vabufd
+	// -epoch flag) invalidates all previously cached results fleet-wide —
+	// restored snapshot entries keyed under the old epoch simply never
+	// hit again. Empty means the built-in library generation.
+	Epoch string
+	// Instance is the instance identity surfaced in /metrics, the
+	// /readyz body, and the Vabuf-Instance response header so router
+	// metrics and failover logs can attribute per-backend. vabufd
+	// defaults it to hostname:port once the listener is bound
+	// (SetInstanceID).
+	Instance string
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +136,9 @@ type Server struct {
 	flights flightGroup
 	met     *metrics
 	state   serverState
+	// instance holds the instance identity (a string); vabufd overwrites
+	// the configured value with hostname:port after binding the listener.
+	instance atomic.Value
 
 	closeOnce  sync.Once
 	tickerStop chan struct{}
@@ -148,6 +164,7 @@ func New(cfg Config) *Server {
 		models: newLRU(cfg.ModelCacheSize),
 		met:    newMetrics(),
 	}
+	s.instance.Store(cfg.Instance)
 	if cfg.ResultCacheSize > 0 {
 		s.results = newLRU(cfg.ResultCacheSize)
 	}
@@ -156,6 +173,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/yield", s.instrument("/v1/yield", s.yield))
 	s.mux.HandleFunc("POST /v1/yield:stream", s.yieldStream)
 	s.mux.HandleFunc("POST /v1/yield:batch", s.instrument("/v1/yield:batch", s.yieldBatch))
+	s.mux.HandleFunc("POST /v1/cache/fill", s.instrument("/v1/cache/fill", s.cacheFill))
 	s.mux.HandleFunc("GET /v1/benchmarks", s.instrument("/v1/benchmarks", s.benchmarks))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.healthz))
 	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.readyz))
@@ -197,6 +215,17 @@ func (s *Server) snapshotLoop() {
 // Handler returns the root handler for an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// SetInstanceID overrides the instance identity after construction —
+// vabufd calls it with hostname:port once the listener is bound (before
+// serving begins), so an -addr of :0 still reports the real port.
+func (s *Server) SetInstanceID(id string) { s.instance.Store(id) }
+
+// InstanceID returns the instance identity ("" when unset).
+func (s *Server) InstanceID() string {
+	id, _ := s.instance.Load().(string)
+	return id
+}
+
 // StartDrain flips the server into the draining state: /readyz answers
 // 503 and every new job submission is refused with 503 + Retry-After,
 // while jobs already queued or running finish normally. Call it before
@@ -224,8 +253,9 @@ func (s *Server) Close() {
 	})
 }
 
-// instrument wraps an endpoint: it records the request counter, attaches
-// Retry-After to overload/unavailable responses, and writes the JSON body.
+// instrument wraps an endpoint: it records the request counter, stamps
+// the identity headers, attaches Retry-After to overload/unavailable
+// responses, and writes the JSON body.
 func (s *Server) instrument(endpoint string, h func(*http.Request) (int, any)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		status, body := h(r)
@@ -233,6 +263,7 @@ func (s *Server) instrument(endpoint string, h func(*http.Request) (int, any)) h
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
 		}
+		s.identityHeaders(w)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
 		enc := json.NewEncoder(w)
@@ -597,10 +628,10 @@ func (s *Server) insert(r *http.Request) (int, any) {
 	if st, err := decodeJSON(r, s.cfg.MaxRequestBytes, &req); err != nil {
 		return st, errBody(err)
 	}
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
-	return s.memoized(r, "/v1/insert", req.Fingerprint(), func() (int, any) {
+	return s.memoized(r, "/v1/insert", req.Fingerprint(s.cfg.Epoch), func() (int, any) {
 		p, err := s.prepare(&req)
 		if err != nil {
 			return http.StatusBadRequest, errBody(err)
@@ -628,10 +659,10 @@ func (s *Server) yield(r *http.Request) (int, any) {
 	if st, err := decodeJSON(r, s.cfg.MaxRequestBytes, &req); err != nil {
 		return st, errBody(err)
 	}
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		return http.StatusBadRequest, errBody(err)
 	}
-	return s.memoized(r, "/v1/yield", req.Fingerprint(), func() (int, any) {
+	return s.memoized(r, "/v1/yield", req.Fingerprint(s.cfg.Epoch), func() (int, any) {
 		p, err := s.prepare(&req.InsertRequest)
 		if err != nil {
 			return http.StatusBadRequest, errBody(err)
@@ -742,7 +773,25 @@ func (s *Server) healthz(*http.Request) (int, any) {
 }
 
 func (s *Server) metricsHandler(*http.Request) (int, any) {
-	return http.StatusOK, s.met.snapshot(s.pool, s.trees, s.models, s.results,
+	doc := s.met.snapshot(s.pool, s.trees, s.models, s.results,
 		s.cfg.TreeCacheSize, s.cfg.ModelCacheSize, s.cfg.ResultCacheSize,
 		s.flights.inflight(), s.readyState())
+	// Identity of this backend, so fleet dashboards can attribute the
+	// counters to an instance and spot epoch skew at a glance.
+	doc["instance"] = s.InstanceID()
+	doc["epoch"] = s.cfg.Epoch
+	return http.StatusOK, doc
+}
+
+// identityHeaders stamps the per-backend attribution headers on a
+// response: the vabufr router reads Vabuf-Epoch off proxied responses to
+// tag peer cache fills, and Vabuf-Instance makes failover logs and
+// client traces attributable without a /metrics round trip.
+func (s *Server) identityHeaders(w http.ResponseWriter) {
+	if id := s.InstanceID(); id != "" {
+		w.Header().Set("Vabuf-Instance", id)
+	}
+	if s.cfg.Epoch != "" {
+		w.Header().Set("Vabuf-Epoch", s.cfg.Epoch)
+	}
 }

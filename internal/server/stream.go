@@ -55,6 +55,7 @@ func (s *Server) yieldStream(w http.ResponseWriter, r *http.Request) {
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
 		}
+		s.identityHeaders(w)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
 		enc := json.NewEncoder(w)
@@ -75,6 +76,7 @@ func (s *Server) yieldStream(w http.ResponseWriter, r *http.Request) {
 		close(events)
 	}()
 
+	s.identityHeaders(w)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -106,7 +108,7 @@ func (s *Server) prepareYieldStream(r *http.Request) (int, any, func(chan<- Stre
 	if st, err := decodeJSON(r, s.cfg.MaxRequestBytes, &req); err != nil {
 		return st, errBody(err), nil
 	}
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		return http.StatusBadRequest, errBody(err), nil
 	}
 	if req.MonteCarlo <= 0 || req.Algo == "nom" {

@@ -1,0 +1,109 @@
+#!/usr/bin/env sh
+# scripts/fleet.sh — fleet smoke test: boot 3 vabufd instances and one
+# vabufr router in front of them, then prove the consistent-hash path
+# end to end: a repeated insert through the router must land on the same
+# backend twice and answer the second call from that backend's warm
+# result cache (byte-identical response, result-cache hit counted).
+# Used as a CI step; exits non-zero on any failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+  # shellcheck disable=SC2086
+  [ -n "$PIDS" ] && kill $PIDS 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$TMP/vabufd" ./cmd/vabufd
+go build -o "$TMP/vabufr" ./cmd/vabufr
+
+# Boot the backends on ephemeral ports; each gets its own instance id,
+# snapshot path (the lock forbids sharing one), and the shared epoch.
+BACKENDS=""
+for i in 1 2 3; do
+  "$TMP/vabufd" -addr 127.0.0.1:0 -instance "b$i" -epoch fleet-smoke \
+    -snapshot "$TMP/b$i.snap" -workers 2 >"$TMP/d$i.log" 2>&1 &
+  PIDS="$PIDS $!"
+done
+for i in 1 2 3; do
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.*vabufd listening on \([^ ]*\).*/\1/p' "$TMP/d$i.log" | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+  done
+  if [ -z "$ADDR" ]; then
+    echo "fleet: vabufd b$i never logged its address" >&2
+    cat "$TMP/d$i.log" >&2
+    exit 1
+  fi
+  eval "ADDR$i=$ADDR"
+  BACKENDS="$BACKENDS,http://$ADDR"
+done
+BACKENDS=${BACKENDS#,}
+
+# Boot the router with fast probes so readiness converges quickly.
+"$TMP/vabufr" -addr 127.0.0.1:0 -backends "$BACKENDS" \
+  -probe-every 200ms -fail-after 1 -recover-after 1 >"$TMP/r.log" 2>&1 &
+PIDS="$PIDS $!"
+ROUTER=""
+for _ in $(seq 1 100); do
+  ROUTER=$(sed -n 's/.*vabufr listening on \([^ ]*\).*/\1/p' "$TMP/r.log" | head -1)
+  [ -n "$ROUTER" ] && break
+  sleep 0.1
+done
+if [ -z "$ROUTER" ]; then
+  echo "fleet: vabufr never logged its address" >&2
+  cat "$TMP/r.log" >&2
+  exit 1
+fi
+for _ in $(seq 1 100); do
+  curl -fsS "http://$ROUTER/readyz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "http://$ROUTER/readyz" >/dev/null
+
+REQ='{"bench":"p1","algo":"nom"}'
+curl -fsS -D "$TMP/h1" -o "$TMP/r1.json" -H 'Content-Type: application/json' \
+  -d "$REQ" "http://$ROUTER/v1/insert"
+curl -fsS -D "$TMP/h2" -o "$TMP/r2.json" -H 'Content-Type: application/json' \
+  -d "$REQ" "http://$ROUTER/v1/insert"
+
+inst() { tr -d '\r' <"$1" | sed -n 's/^[Vv]abuf-[Ii]nstance: *//p' | head -1; }
+I1=$(inst "$TMP/h1")
+I2=$(inst "$TMP/h2")
+if [ -z "$I1" ] || [ "$I1" != "$I2" ]; then
+  echo "fleet: repeat routed to '$I2', first to '$I1' — routing is not sticky" >&2
+  exit 1
+fi
+if ! cmp -s "$TMP/r1.json" "$TMP/r2.json"; then
+  echo "fleet: repeat answered different bytes — not a warm cache hit" >&2
+  exit 1
+fi
+
+# The owner's own /metrics must count the warm hit. Map the instance id
+# (b1/b2/b3) back to its address and read caches.result.hits from the
+# indented JSON.
+case "$I1" in
+  b1) OWNER=$ADDR1 ;;
+  b2) OWNER=$ADDR2 ;;
+  b3) OWNER=$ADDR3 ;;
+  *) echo "fleet: unknown serving instance '$I1'" >&2; exit 1 ;;
+esac
+HITS=$(curl -fsS "http://$OWNER/metrics" \
+  | sed -n '/"result": {/,/}/p' | sed -n 's/.*"hits": \([0-9][0-9]*\).*/\1/p' | head -1)
+if [ -z "$HITS" ] || [ "$HITS" -lt 1 ]; then
+  echo "fleet: owner $I1 result-cache hits = '${HITS:-?}', want >= 1" >&2
+  exit 1
+fi
+
+# Router metrics sanity: it must report itself ready.
+curl -fsS "http://$ROUTER/metrics" | grep -q '"state": "ready"' || {
+  echo "fleet: router /metrics does not report state ready" >&2
+  exit 1
+}
+
+echo "fleet: ok — repeat served by $I1 from its warm cache ($HITS hit(s)) via the router"
