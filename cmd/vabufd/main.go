@@ -61,6 +61,8 @@ func main() {
 		modelCache  = flag.Int("model-cache", 32, "variation-model LRU entries")
 		resultCache = flag.Int("result-cache", 128,
 			"content-addressed result-cache entries; repeats of a completed insert/yield request answer from memory (0 disables)")
+		subtreeCache = flag.Int("subtree-cache-mb", 64,
+			"subtree DP-frontier cache budget in MiB, shared across runs; lightly edited trees recompute only changed branches (0 disables)")
 		timeout = flag.Duration("timeout", 2*time.Minute,
 			"default per-request insertion deadline (0 = none)")
 		maxBody     = flag.Int64("max-body", 8<<20, "request body limit in bytes")
@@ -82,6 +84,10 @@ func main() {
 	if resultCacheSize == 0 {
 		resultCacheSize = -1 // flag 0 = off; Config 0 = default, negative = off
 	}
+	subtreeCacheMB := *subtreeCache
+	if subtreeCacheMB == 0 {
+		subtreeCacheMB = -1 // same convention as -result-cache
+	}
 	srv := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -91,6 +97,7 @@ func main() {
 		TreeCacheSize:   *treeCache,
 		ModelCacheSize:  *modelCache,
 		ResultCacheSize: resultCacheSize,
+		SubtreeCacheMB:  subtreeCacheMB,
 		DefaultTimeout:  *timeout,
 		MaxRequestBytes: *maxBody,
 		EnablePprof:     *enablePprof,

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"vabuf/internal/benchgen"
+	"vabuf/internal/device"
+	"vabuf/internal/rctree"
+)
+
+// FuzzSubtreeFingerprint property-tests the canonical subtree fingerprints
+// behind the DP cache: they must be deterministic, and any DP-relevant
+// mutation of a node must change the fingerprint of exactly the subtrees
+// containing the mutation (the node's root path) while every disjoint
+// subtree keeps its key — the incrementality that makes ECO re-inserts
+// cheap and, more importantly, the safety property that no stale frontier
+// can ever be served for a changed subtree.
+func FuzzSubtreeFingerprint(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint16(3), 1.5)
+	f.Add(int64(2), uint8(1), uint16(0), -2.25)
+	f.Add(int64(3), uint8(2), uint16(9), 0.0625)
+	f.Add(int64(4), uint8(3), uint16(100), 7.0)
+	f.Fuzz(func(t *testing.T, seed int64, mutKind uint8, nodeSel uint16, delta float64) {
+		if delta == 0 || math.IsNaN(delta) || math.IsInf(delta, 0) {
+			t.Skip()
+		}
+		tr, err := benchgen.Random(benchgen.Spec{Sinks: 4 + int(uint64(seed)%12), Seed: seed})
+		if err != nil {
+			t.Skip()
+		}
+		opts := Options{Library: device.DefaultLibrary()}
+		fps, size := subtreeFingerprints(tr, &opts)
+		again, _ := subtreeFingerprints(tr, &opts)
+		for id := range fps {
+			if fps[id] != again[id] {
+				t.Fatalf("fingerprints not deterministic at node %d", id)
+			}
+		}
+		if size[tr.Root] != int32(tr.Len()) {
+			t.Fatalf("root subtree size %d != tree size %d", size[tr.Root], tr.Len())
+		}
+
+		id := rctree.NodeID(int(nodeSel) % tr.Len())
+		// owner is the node whose subtree key must absorb the mutation; for
+		// wire-length edits that is the parent (the key covers child edges).
+		owner := id
+		bumped := func(old float64) (float64, bool) {
+			nv := old + delta
+			return nv, math.Float64bits(nv) != math.Float64bits(old)
+		}
+		switch mutKind % 4 {
+		case 0, 1: // sink RAT / CapLoad: retarget to a sink
+			for tr.Nodes[id].Kind != rctree.KindSink {
+				id = (id + 1) % rctree.NodeID(tr.Len())
+			}
+			owner = id
+			var nv float64
+			var ok bool
+			if mutKind%4 == 0 {
+				nv, ok = bumped(tr.Nodes[id].RAT)
+				tr.Nodes[id].RAT = nv
+			} else {
+				nv, ok = bumped(tr.Nodes[id].CapLoad)
+				tr.Nodes[id].CapLoad = nv
+			}
+			if !ok {
+				t.Skip() // delta vanished in rounding
+			}
+		case 2: // edge wire length: visible in the parent's key
+			if tr.Nodes[id].Parent == rctree.NoNode {
+				t.Skip()
+			}
+			nv, ok := bumped(tr.Nodes[id].WireLen)
+			if !ok {
+				t.Skip()
+			}
+			tr.Nodes[id].WireLen = nv
+			owner = tr.Nodes[id].Parent
+		case 3: // buffer-site legality
+			tr.Nodes[id].BufferOK = !tr.Nodes[id].BufferOK
+			owner = id
+		}
+
+		onPath := make(map[rctree.NodeID]bool)
+		for n := owner; n != rctree.NoNode; n = tr.Nodes[n].Parent {
+			onPath[n] = true
+		}
+		mut, mutSize := subtreeFingerprints(tr, &opts)
+		for i := range fps {
+			nid := rctree.NodeID(i)
+			changed := fps[i] != mut[i]
+			if onPath[nid] && !changed {
+				t.Errorf("node %d contains the mutation but kept its fingerprint", i)
+			}
+			if !onPath[nid] && changed {
+				t.Errorf("node %d is disjoint from the mutation but changed its fingerprint", i)
+			}
+			if size[i] != mutSize[i] {
+				t.Errorf("node %d subtree size changed %d -> %d", i, size[i], mutSize[i])
+			}
+		}
+	})
+}

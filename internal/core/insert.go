@@ -29,25 +29,37 @@ type engine struct {
 	// therefore every term-merge order) bit-identical.
 	dev []variation.Form
 
+	// prov is the shared provenance arena all workers append into.
+	prov provArena
+
+	// Subtree-cache state (nil/empty when Options.SubtreeCache is unset):
+	// fps[id] is the canonical fingerprint of the subtree rooted at id,
+	// subSize[id] its node count, cacheMin the eligibility floor.
+	cache    *SubtreeCache
+	fps      []subtreeKey
+	subSize  []int32
+	cacheMin int
+
 	// sem holds the spawn tokens for extra DP workers (nil = serial).
 	sem chan struct{}
 	// abort flips on the first failure so sibling workers stop early.
 	abort atomic.Bool
 
-	mu     sync.Mutex
-	stats  Stats
-	err    error // first real failure (never errAborted)
-	arenas []*variation.Arena
+	mu      sync.Mutex
+	stats   Stats
+	err     error // first real failure (never errAborted)
+	arenas  []*variation.Arena
+	replays []*cachedList
 }
 
-// worker is the per-goroutine state of the DP: private stats, pruner, and
-// arenas, merged into the engine when the worker retires. The serial
-// engine is simply a run with one worker.
+// worker is the per-goroutine state of the DP: private stats, pruner,
+// provenance writer, and term arena, merged into the engine when the
+// worker retires. The serial engine is simply a run with one worker.
 type worker struct {
 	eng   *engine
 	stats Stats
 	prn   *pruner
-	cands candArena
+	prov  provWriter
 	terms *variation.Arena
 }
 
@@ -62,7 +74,9 @@ var errAborted = errors.New("core: aborted by concurrent failure")
 // §4 under the pruning rule selected in the options.
 //
 // Independent subtrees are processed by up to Options.Parallelism workers;
-// the returned result is bit-identical for every parallelism level.
+// the returned result is bit-identical for every parallelism level. Trees
+// below Options.MinParallelNodes run serially regardless — on small trees
+// the spawn/retire overhead costs more than the subtree concurrency wins.
 func Insert(tree *rctree.Tree, opts Options) (*Result, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
@@ -73,6 +87,13 @@ func Insert(tree *rctree.Tree, opts Options) (*Result, error) {
 	}
 	if tree.NumSinks() == 0 {
 		return nil, fmt.Errorf("core: tree has no sinks")
+	}
+	minPar := o.MinParallelNodes
+	if minPar == 0 {
+		minPar = DefaultMinParallelNodes
+	}
+	if o.Parallelism > 1 && tree.Len() < minPar {
+		o.Parallelism = 1
 	}
 	e := &engine{
 		tree:    tree,
@@ -91,6 +112,14 @@ func Insert(tree *rctree.Tree, opts Options) (*Result, error) {
 		}
 	} else {
 		e.space = variation.NewSpace()
+	}
+	if o.SubtreeCache != nil {
+		e.cache = o.SubtreeCache
+		e.cacheMin = o.SubtreeCacheMinNodes
+		if e.cacheMin <= 0 {
+			e.cacheMin = DefaultSubtreeCacheMinNodes
+		}
+		e.fps, e.subSize = subtreeFingerprints(tree, &o)
 	}
 	if o.Parallelism > 1 {
 		e.sem = make(chan struct{}, o.Parallelism-1)
@@ -114,6 +143,7 @@ func Insert(tree *rctree.Tree, opts Options) (*Result, error) {
 // newWorker creates a DP worker with private stats, pruner, and arenas.
 func (e *engine) newWorker() *worker {
 	w := &worker{eng: e, terms: variation.NewArena()}
+	w.prov = provWriter{pa: &e.prov}
 	w.prn = newPruner(e.space, e.opts, &w.stats)
 	if e.opts.Timeout > 0 {
 		w.prn.deadline = e.start.Add(e.opts.Timeout)
@@ -138,14 +168,19 @@ func (e *engine) retire(w *worker) {
 		e.stats.PeakList = w.stats.PeakList
 	}
 	e.stats.Workers++
-	e.stats.ArenaCandidates += w.cands.count
+	e.stats.ArenaCandidates += w.prov.count
 	e.stats.ArenaTerms += w.terms.Terms()
 	e.stats.ArenaBytes += w.terms.Bytes()
+	e.stats.ArenaUsedBytes += w.terms.UsedBytes()
+	e.stats.SubtreeHits += w.stats.SubtreeHits
+	e.stats.SubtreeMisses += w.stats.SubtreeMisses
+	e.stats.SubtreeStores += w.stats.SubtreeStores
 }
 
 // release returns every term arena's slabs to the shared pool. Only legal
 // once nothing can touch a candidate form again (Result detaches its RAT
-// with Clone in selectRoot).
+// with Clone in selectRoot, and subtree-cache entries deep-copy their
+// terms when stored).
 func (e *engine) release() {
 	e.mu.Lock()
 	arenas := e.arenas
@@ -177,11 +212,26 @@ func (e *engine) firstErr() error {
 	return errAborted
 }
 
-// dp computes the candidate lists of the subtree rooted at id. Children of
-// multi-child nodes are DP'd concurrently when spawn tokens are available;
-// the fold over child results always runs on this worker in child order,
-// so the generated candidate sequence — and with it every sort, prune, and
-// merge — matches the serial engine exactly.
+// addReplay registers a restored cache list for decision replay and
+// returns its table index (stored in opCached provenance records).
+func (e *engine) addReplay(cl *cachedList) int32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.replays = append(e.replays, cl)
+	return int32(len(e.replays) - 1)
+}
+
+// replayEntry resolves a replay-table index written by addReplay.
+func (e *engine) replayEntry(idx int32) *cachedList {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.replays[idx]
+}
+
+// dp computes the candidate frontiers of the subtree rooted at id, going
+// through the subtree cache when the node is eligible. Per-node abort,
+// timeout, and cancellation checks happen here so every node pays them
+// exactly once, cached or not.
 func (w *worker) dp(id rctree.NodeID) (polarityLists, error) {
 	e := w.eng
 	if e.abort.Load() {
@@ -195,12 +245,39 @@ func (w *worker) dp(id rctree.NodeID) (polarityLists, error) {
 			return polarityLists{}, e.fail(fmt.Errorf("%w after %d nodes: %v", ErrCanceled, w.stats.Nodes, cerr))
 		}
 	}
+	if e.fps != nil && e.subSize[id] >= int32(e.cacheMin) {
+		if ent := e.cache.lookup(e.fps[id]); ent != nil {
+			w.stats.SubtreeHits++
+			pl := w.restoreCached(id, ent)
+			if total := pl[0].len() + pl[1].len(); total > w.stats.PeakList {
+				w.stats.PeakList = total
+			}
+			w.stats.Nodes++
+			return pl, nil
+		}
+		w.stats.SubtreeMisses++
+		pl, err := w.dpCompute(id)
+		if err == nil && e.storeSubtree(id, pl) {
+			w.stats.SubtreeStores++
+		}
+		return pl, err
+	}
+	return w.dpCompute(id)
+}
+
+// dpCompute is the uncached DP step at one node. Children of multi-child
+// nodes are DP'd concurrently when spawn tokens are available; the fold
+// over child results always runs on this worker in child order, so the
+// generated candidate sequence — and with it every sort, prune, and
+// merge — matches the serial engine exactly.
+func (w *worker) dpCompute(id rctree.NodeID) (polarityLists, error) {
+	e := w.eng
 	node := e.tree.Node(id)
 	var pl polarityLists
 	switch node.Kind {
 	case rctree.KindSink:
 		// A sink must receive the true polarity.
-		pl[0] = []*Candidate{w.leaf(id, node)}
+		pl[0] = w.leaf(id, node)
 	default:
 		kids := node.Children
 		sub := make([]polarityLists, len(kids))
@@ -258,7 +335,7 @@ func (w *worker) dp(id rctree.NodeID) (polarityLists, error) {
 			// Subtrees sharing a driving point must require the same
 			// polarity; a polarity unavailable on either side dies.
 			for p := 0; p < 2; p++ {
-				if len(pl[p]) == 0 || len(wired[p]) == 0 {
+				if pl[p].len() == 0 || wired[p].len() == 0 {
 					pl[p] = nil
 					continue
 				}
@@ -272,11 +349,15 @@ func (w *worker) dp(id rctree.NodeID) (polarityLists, error) {
 	}
 	if node.BufferOK {
 		raw := w.addBuffers(id, node, pl)
-		if err := w.checkBudget(len(raw[0]) + len(raw[1])); err != nil {
+		if err := w.checkBudget(raw[0].len() + raw[1].len()); err != nil {
 			return polarityLists{}, e.fail(err)
 		}
 		for p := 0; p < 2; p++ {
-			pl[p] = w.prn.prune(raw[p])
+			if raw[p] != nil {
+				pl[p] = w.prn.prune(raw[p])
+			} else {
+				pl[p] = nil
+			}
 		}
 	}
 	if w.prn.timedOut {
@@ -285,7 +366,7 @@ func (w *worker) dp(id rctree.NodeID) (polarityLists, error) {
 	if w.prn.canceled {
 		return polarityLists{}, e.fail(fmt.Errorf("%w during pruning after %d nodes", ErrCanceled, w.stats.Nodes))
 	}
-	total := len(pl[0]) + len(pl[1])
+	total := pl[0].len() + pl[1].len()
 	if err := w.checkBudget(total); err != nil {
 		return polarityLists{}, e.fail(err)
 	}
@@ -296,64 +377,51 @@ func (w *worker) dp(id rctree.NodeID) (polarityLists, error) {
 	return pl, nil
 }
 
-// polarityLists holds the candidate lists per required signal polarity:
-// index 0 is the true signal, index 1 the inverted one. Without inverting
-// buffers in the library, list 1 stays empty everywhere and the engine
-// behaves exactly as the classic single-list DP.
-type polarityLists [2][]*Candidate
-
-// leaf builds the sink candidate (eq. "L = CapLoad, T = RAT").
-func (w *worker) leaf(id rctree.NodeID, node *rctree.Node) *Candidate {
-	c := w.cands.alloc()
-	c.L = variation.Const(node.CapLoad)
-	c.T = variation.Const(node.RAT)
-	c.node = id
-	c.op = opLeaf
+// leaf builds the sink frontier (eq. "L = CapLoad, T = RAT").
+func (w *worker) leaf(id rctree.NodeID, node *rctree.Node) *frontier {
+	f := newFrontier(1, w.prn.needSigmas())
+	ref := w.prov.alloc(prov{pred: -1, pred2: -1, node: id, aux: -1, op: opLeaf})
+	f.push(variation.Const(node.CapLoad), variation.Const(node.RAT), ref, w.eng.space)
 	w.stats.Generated++
-	return c
+	return f
 }
 
-// wireUp propagates a candidate list along the edge child → parent
+// wireUp propagates a candidate frontier along the edge child → parent
 // (eq. 25–26 / 33–34). Without wire sizing the transformation is
 // order-preserving, so a pruned, sorted input stays pruned and sorted;
 // with a wire library every choice is generated and the union pruned.
-func (w *worker) wireUp(parent, child rctree.NodeID, list []*Candidate) []*Candidate {
+func (w *worker) wireUp(parent, child rctree.NodeID, f *frontier) *frontier {
 	l := w.eng.tree.Node(child).WireLen
 	if l == 0 {
-		return list
+		return f
 	}
 	if len(w.eng.opts.WireLibrary) == 0 {
-		return w.wireChoice(child, list, w.eng.tree.Wire, -1)
+		out := newFrontier(f.len(), w.prn.needSigmas())
+		w.wireChoice(out, child, f, w.eng.tree.Wire, -1)
+		return out
 	}
-	out := make([]*Candidate, 0, len(list)*len(w.eng.opts.WireLibrary))
+	out := newFrontier(f.len()*len(w.eng.opts.WireLibrary), w.prn.needSigmas())
 	for wi, wc := range w.eng.opts.WireLibrary {
-		out = append(out, w.wireChoice(child, list, wc.Params, int16(wi))...)
+		w.wireChoice(out, child, f, wc.Params, int32(wi))
 	}
 	return w.prn.prune(out)
 }
 
-// wireChoice applies one wire option along the edge child → parent. The
-// candidate records the child node so backtracking can attribute the
-// sizing decision to its edge.
-func (w *worker) wireChoice(child rctree.NodeID, list []*Candidate, wp rctree.WireParams, wi int16) []*Candidate {
+// wireChoice applies one wire option along the edge child → parent,
+// appending to out. The provenance records the child node so backtracking
+// can attribute the sizing decision to its edge.
+func (w *worker) wireChoice(out *frontier, child rctree.NodeID, f *frontier, wp rctree.WireParams, wi int32) {
 	l := w.eng.tree.Node(child).WireLen
 	halfRC := 0.5 * wp.R * wp.C * l * l
-	out := make([]*Candidate, len(list))
-	for i, s := range list {
-		nc := w.cands.alloc()
-		nc.L = s.L.Shift(wp.C * l)
-		nc.T = s.T.AXPYIn(w.terms, -wp.R*l, s.L).Shift(-halfRC)
-		nc.node = child
-		nc.op = opWire
-		nc.wire = wi
-		nc.pred = s
-		if w.prn.needSigmas() {
-			nc.fillSigmas(w.eng.space)
-		}
-		out[i] = nc
+	n := f.len()
+	for i := 0; i < n; i++ {
+		sL := f.lform(i)
+		nl := sL.Shift(wp.C * l)
+		nt := f.tform(i).AXPYIn(w.terms, -wp.R*l, sL).Shift(-halfRC)
+		ref := w.prov.alloc(prov{pred: f.ref[i], pred2: -1, node: child, aux: wi, op: opWire})
+		out.push(nl, nt, ref, w.eng.space)
 	}
-	w.stats.Generated += int64(len(list))
-	return out
+	w.stats.Generated += int64(n)
 }
 
 // deviation returns the relative device deviation form at a site, or the
@@ -366,8 +434,8 @@ func (e *engine) deviation(id rctree.NodeID) variation.Form {
 	return e.dev[id]
 }
 
-// addBuffers augments the polarity lists with one buffered candidate per
-// (existing candidate, buffer type) pair (eq. 27–28 / 35–36). Both C_b
+// addBuffers augments the polarity frontiers with one buffered candidate
+// per (existing candidate, buffer type) pair (eq. 27–28 / 35–36). Both C_b
 // and T_b of a buffer at one site share the same underlying deviation
 // (they are driven by the same device's process parameters), per
 // eq. 23–24. A non-inverting buffer keeps the candidate's required
@@ -375,6 +443,9 @@ func (e *engine) deviation(id rctree.NodeID) variation.Form {
 func (w *worker) addBuffers(id rctree.NodeID, node *rctree.Node, pl polarityLists) polarityLists {
 	dev := w.eng.deviation(id)
 	out := pl
+	// Snapshot the input lengths: buffered candidates are appended to the
+	// same frontiers but must never be buffered again at this node.
+	n0 := [2]int{pl[0].len(), pl[1].len()}
 	for bi, b := range w.eng.opts.Library {
 		cbForm := dev.ScaleIn(w.terms, b.Cb0).Shift(b.Cb0)
 		tbForm := dev.ScaleIn(w.terms, b.Tb0).Shift(b.Tb0)
@@ -383,25 +454,20 @@ func (w *worker) addBuffers(id rctree.NodeID, node *rctree.Node, pl polarityList
 			if b.Inverting {
 				target = 1 - p
 			}
-			// Iterate the snapshot lists in pl, never the growing out
-			// lists, so buffers do not chain at one position.
-			for _, s := range pl[p] {
+			src := pl[p]
+			for i := 0; i < n0[p]; i++ {
 				// Drive-capability constraint: a buffer may not drive
 				// more than its MaxLoad (checked on nominal load).
-				if b.MaxLoad > 0 && s.L.Nominal > b.MaxLoad {
+				if b.MaxLoad > 0 && src.ln[i] > b.MaxLoad {
 					continue
 				}
-				nc := w.cands.alloc()
-				nc.L = cbForm
-				nc.T = s.T.SubIn(w.terms, tbForm).AXPYIn(w.terms, -b.Rb, s.L)
-				nc.node = id
-				nc.op = opBuffer
-				nc.buf = int16(bi)
-				nc.pred = s
-				if w.prn.needSigmas() {
-					nc.fillSigmas(w.eng.space)
+				sT := src.tform(i)
+				nt := sT.SubIn(w.terms, tbForm).AXPYIn(w.terms, -b.Rb, src.lform(i))
+				ref := w.prov.alloc(prov{pred: src.ref[i], pred2: -1, node: id, aux: int32(bi), op: opBuffer})
+				if out[target] == nil {
+					out[target] = newFrontier(n0[p], w.prn.needSigmas())
 				}
-				out[target] = append(out[target], nc)
+				out[target].push(cbForm, nt, ref, w.eng.space)
 				w.stats.Generated++
 			}
 		}
@@ -430,23 +496,23 @@ func (w *worker) capacityErr(n int) error {
 // and picks the one maximizing the objective: nominal RAT for
 // deterministic runs, the SelectQuantile RAT quantile (e.g. the 95%-yield
 // RAT at 0.05) for variation-aware runs.
-func (e *engine) selectRoot(rootList []*Candidate) (*Result, error) {
-	if len(rootList) == 0 {
+func (e *engine) selectRoot(rootList *frontier) (*Result, error) {
+	if rootList.len() == 0 {
 		return nil, fmt.Errorf("core: no true-polarity candidates survived to the root" +
 			" (an inverter-only library cannot always deliver even inversion counts)")
 	}
 	deterministic := e.opts.Model == nil
-	var best *Candidate
+	best := -1
 	var bestRAT variation.Form
 	bestObj := 0.0
-	for _, c := range rootList {
-		rat := c.T.AXPY(-e.tree.DriverR, c.L)
+	for i := 0; i < rootList.len(); i++ {
+		rat := rootList.tform(i).AXPY(-e.tree.DriverR, rootList.lform(i))
 		obj := rat.Nominal
 		if !deterministic {
 			obj = rat.Quantile(e.opts.SelectQuantile, e.space)
 		}
-		if best == nil || obj > bestObj {
-			best = c
+		if best < 0 || obj > bestObj {
+			best = i
 			bestObj = obj
 			bestRAT = rat
 		}
@@ -456,7 +522,7 @@ func (e *engine) selectRoot(rootList []*Candidate) (*Result, error) {
 	if len(e.opts.WireLibrary) > 0 {
 		wires = make(map[rctree.NodeID]int)
 	}
-	best.collectDecisions(assignment, wires)
+	e.collectDecisions(rootList.ref[best], assignment, wires)
 	e.stats.Elapsed = time.Since(e.start)
 	// Detach the RAT from the (pooled) term arenas before they are
 	// released: the fast path of AXPY can alias a candidate's terms.
@@ -469,7 +535,7 @@ func (e *engine) selectRoot(rootList []*Candidate) (*Result, error) {
 		Sigma:          bestRAT.Sigma(e.space),
 		Objective:      bestObj,
 		NumBuffers:     len(assignment),
-		RootCandidates: len(rootList),
+		RootCandidates: rootList.len(),
 		Stats:          e.stats,
 	}, nil
 }

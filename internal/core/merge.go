@@ -5,22 +5,20 @@ import (
 	"vabuf/internal/variation"
 )
 
-// mergeCand combines one candidate from each subtree at node (eq. 29–30 /
-// eq. 37–38): loads add, RATs take the statistical minimum.
-func (w *worker) mergeCand(node rctree.NodeID, a, b *Candidate) *Candidate {
-	res := variation.MinIn(w.terms, a.T, b.T, w.eng.space)
-	c := w.cands.alloc()
-	c.L = a.L.AddIn(w.terms, b.L)
-	c.T = res.Form
-	c.node = node
-	c.op = opMerge
-	c.pred = a
-	c.pred2 = b
-	if w.prn.needSigmas() {
-		c.fillSigmas(w.eng.space)
-	}
+// mergeCand combines candidate i of frontier a with candidate j of
+// frontier b at node (eq. 29–30 / eq. 37–38): loads add, RATs take the
+// statistical minimum. The result is appended to dst.
+func (w *worker) mergeCand(dst *frontier, node rctree.NodeID, a *frontier, i int, b *frontier, j int) {
+	res := variation.MinIn(w.terms, a.tform(i), b.tform(j), w.eng.space)
+	l := a.lform(i).AddIn(w.terms, b.lform(j))
+	ref := w.prov.alloc(prov{
+		pred:  a.ref[i],
+		pred2: b.ref[j],
+		node:  node,
+		op:    opMerge,
+	})
+	dst.push(l, res.Form, ref, w.eng.space)
 	w.stats.Generated++
-	return c
 }
 
 // mergeLinear is the Figure 1 merge: both inputs are sorted ascending in
@@ -28,24 +26,26 @@ func (w *worker) mergeCand(node rctree.NodeID, a, b *Candidate) *Candidate {
 // merge-sort-like walk emits at most n+m-1 non-dominated combinations.
 // The pointer whose candidate currently limits the merged RAT (the smaller
 // mean T) advances, because only a better version of that side can improve
-// the combination.
-func (w *worker) mergeLinear(node rctree.NodeID, a, b []*Candidate) ([]*Candidate, error) {
-	out := make([]*Candidate, 0, len(a)+len(b))
+// the combination. The walk itself touches only the contiguous mean-T
+// slices; term lists are read just for the emitted combinations.
+func (w *worker) mergeLinear(node rctree.NodeID, a, b *frontier) (*frontier, error) {
+	out := newFrontier(a.len()+b.len(), w.prn.needSigmas())
+	at, bt := a.tn, b.tn
 	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		out = append(out, w.mergeCand(node, a[i], b[j]))
+	for i < len(at) && j < len(bt) {
+		w.mergeCand(out, node, a, i, b, j)
 		// Advance the side with the smaller mean T; advance both on ties.
 		switch {
-		case a[i].T.Nominal < b[j].T.Nominal:
+		case at[i] < bt[j]:
 			i++
-		case a[i].T.Nominal > b[j].T.Nominal:
+		case at[i] > bt[j]:
 			j++
 		default:
 			i++
 			j++
 		}
 	}
-	if err := w.checkBudget(len(out)); err != nil {
+	if err := w.checkBudget(out.len()); err != nil {
 		return nil, err
 	}
 	w.stats.Merges++
@@ -54,14 +54,14 @@ func (w *worker) mergeLinear(node rctree.NodeID, a, b []*Candidate) ([]*Candidat
 
 // mergeCross is the O(n·m) cross-product merge the 4P partial order forces
 // (§2.2): without a strict ordering no combination can be skipped.
-func (w *worker) mergeCross(node rctree.NodeID, a, b []*Candidate) ([]*Candidate, error) {
-	if w.eng.maxCand > 0 && len(a)*len(b) > w.eng.maxCand {
-		return nil, w.capacityErr(len(a) * len(b))
+func (w *worker) mergeCross(node rctree.NodeID, a, b *frontier) (*frontier, error) {
+	if w.eng.maxCand > 0 && a.len()*b.len() > w.eng.maxCand {
+		return nil, w.capacityErr(a.len() * b.len())
 	}
-	out := make([]*Candidate, 0, len(a)*len(b))
-	for _, ca := range a {
-		for _, cb := range b {
-			out = append(out, w.mergeCand(node, ca, cb))
+	out := newFrontier(a.len()*b.len(), w.prn.needSigmas())
+	for i := 0; i < a.len(); i++ {
+		for j := 0; j < b.len(); j++ {
+			w.mergeCand(out, node, a, i, b, j)
 		}
 	}
 	w.stats.Merges++
@@ -69,7 +69,7 @@ func (w *worker) mergeCross(node rctree.NodeID, a, b []*Candidate) ([]*Candidate
 }
 
 // merge dispatches on the active rule.
-func (w *worker) merge(node rctree.NodeID, a, b []*Candidate) ([]*Candidate, error) {
+func (w *worker) merge(node rctree.NodeID, a, b *frontier) (*frontier, error) {
 	if w.eng.opts.Rule == Rule4P {
 		return w.mergeCross(node, a, b)
 	}

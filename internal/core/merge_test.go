@@ -12,8 +12,20 @@ func testWorker(rule Rule) *worker {
 	opts := Options{Rule: rule, PbarL: 0.5, PbarT: 0.5, FourP: DefaultFourP()}
 	e := &engine{opts: opts, space: variation.NewSpace()}
 	w := &worker{eng: e, terms: variation.NewArena()}
+	w.prov = provWriter{pa: &e.prov}
 	w.prn = newPruner(w.eng.space, opts, &w.stats)
 	return w
+}
+
+// mkLeafFrontier builds a frontier of deterministic (L, T) candidates with
+// real opLeaf provenance records, so merges can be backtracked.
+func (w *worker) mkLeafFrontier(pairs ...[2]float64) *frontier {
+	f := newFrontier(len(pairs), w.prn.needSigmas())
+	for _, c := range pairs {
+		ref := w.prov.alloc(prov{pred: -1, pred2: -1, aux: -1, op: opLeaf})
+		f.push(variation.Const(c[0]), variation.Const(c[1]), ref, w.eng.space)
+	}
+	return f
 }
 
 // TestLinearMergeFigure1 reproduces the mechanism of Figure 1: two sorted
@@ -22,37 +34,43 @@ func testWorker(rule Rule) *worker {
 func TestLinearMergeFigure1(t *testing.T) {
 	w := testWorker(Rule2P)
 	// Strictly sorted in both L and T (as in the figure).
-	a := []*Candidate{mkCand(1, -30), mkCand(2, -20), mkCand(3, -10)}
-	b := []*Candidate{mkCand(1.5, -25), mkCand(2.5, -15), mkCand(4, -5)}
+	a := w.mkLeafFrontier([2]float64{1, -30}, [2]float64{2, -20}, [2]float64{3, -10})
+	b := w.mkLeafFrontier([2]float64{1.5, -25}, [2]float64{2.5, -15}, [2]float64{4, -5})
+	// Remember each leaf's mean T by provenance ref, to check the merged
+	// RAT against its actual predecessors.
+	leafT := make(map[int32]float64)
+	for _, f := range []*frontier{a, b} {
+		for i := 0; i < f.len(); i++ {
+			leafT[f.ref[i]] = f.tn[i]
+		}
+	}
 	out, err := w.mergeLinear(0, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) > len(a)+len(b)-1 {
-		t.Fatalf("merge emitted %d candidates, linear bound is %d", len(out), len(a)+len(b)-1)
+	if out.len() > a.len()+b.len()-1 {
+		t.Fatalf("merge emitted %d candidates, linear bound is %d", out.len(), a.len()+b.len()-1)
 	}
 	out = w.prn.prune(out)
 	// Loads add; RATs are the pairwise min.
-	for _, c := range out {
-		if c.L.Nominal < 2.5 || c.L.Nominal > 7 {
-			t.Errorf("merged load %g outside pairwise-sum range", c.L.Nominal)
+	for i := 0; i < out.len(); i++ {
+		if out.ln[i] < 2.5 || out.ln[i] > 7 {
+			t.Errorf("merged load %g outside pairwise-sum range", out.ln[i])
 		}
-		if c.op != opMerge || c.pred == nil || c.pred2 == nil {
+		pr := w.eng.prov.at(out.ref[i])
+		if pr.op != opMerge || pr.pred < 0 || pr.pred2 < 0 {
 			t.Error("merge provenance missing")
+			continue
 		}
-		if c.T.Nominal != min(c.pred.T.Nominal, c.pred2.T.Nominal) {
-			t.Errorf("merged T %g != min(%g, %g)", c.T.Nominal, c.pred.T.Nominal, c.pred2.T.Nominal)
+		if out.tn[i] != min(leafT[pr.pred], leafT[pr.pred2]) {
+			t.Errorf("merged T %g != min(%g, %g)", out.tn[i], leafT[pr.pred], leafT[pr.pred2])
 		}
 	}
 	// Result is a strict staircase.
-	for i := 1; i < len(out); i++ {
-		if !(out[i].MeanL() > out[i-1].MeanL() && out[i].MeanT() > out[i-1].MeanT()) {
-			t.Error("merged+pruned output not strictly sorted")
-		}
-	}
+	assertStaircase(t, out)
 	// The best-RAT combination must survive: max over pairs of min(Ta, Tb)
 	// subject to it being on the staircase.
-	bestT := out[len(out)-1].T.Nominal
+	bestT := out.tn[out.len()-1]
 	wantBest := -10.0 // min(-10, -5) from the two best-T inputs
 	if bestT != wantBest {
 		t.Errorf("best merged T = %g, want %g", bestT, wantBest)
@@ -67,12 +85,12 @@ func TestMergeLinearEquivalentToCrossProduct(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	for trial := 0; trial < 200; trial++ {
 		w := testWorker(Rule2P)
-		mk := func(n int) []*Candidate {
-			list := make([]*Candidate, n)
-			for i := range list {
-				list[i] = mkCand(rng.Float64()*50, -rng.Float64()*50)
+		mk := func(n int) *frontier {
+			pairs := make([][2]float64, n)
+			for i := range pairs {
+				pairs[i] = [2]float64{rng.Float64() * 50, -rng.Float64() * 50}
 			}
-			return w.prn.prune(list)
+			return w.prn.prune(w.mkLeafFrontier(pairs...))
 		}
 		a := mk(1 + rng.Intn(12))
 		b := mk(1 + rng.Intn(12))
@@ -86,15 +104,13 @@ func TestMergeLinearEquivalentToCrossProduct(t *testing.T) {
 			t.Fatal(err)
 		}
 		cross = w.prn.prune(cross)
-		if len(lin) != len(cross) {
-			t.Fatalf("trial %d: linear kept %d, cross kept %d", trial, len(lin), len(cross))
+		if lin.len() != cross.len() {
+			t.Fatalf("trial %d: linear kept %d, cross kept %d", trial, lin.len(), cross.len())
 		}
-		for i := range lin {
-			if lin[i].L.Nominal != cross[i].L.Nominal || lin[i].T.Nominal != cross[i].T.Nominal {
+		for i := 0; i < lin.len(); i++ {
+			if lin.ln[i] != cross.ln[i] || lin.tn[i] != cross.tn[i] {
 				t.Fatalf("trial %d: staircase differs at %d: (%g,%g) vs (%g,%g)",
-					trial, i,
-					lin[i].L.Nominal, lin[i].T.Nominal,
-					cross[i].L.Nominal, cross[i].T.Nominal)
+					trial, i, lin.ln[i], lin.tn[i], cross.ln[i], cross.tn[i])
 			}
 		}
 	}
@@ -102,22 +118,22 @@ func TestMergeLinearEquivalentToCrossProduct(t *testing.T) {
 
 func TestMergeCrossSize(t *testing.T) {
 	w := testWorker(Rule4P)
-	a := []*Candidate{mkCand(1, -1), mkCand(2, -2)}
-	b := []*Candidate{mkCand(3, -3), mkCand(4, -4), mkCand(5, -5)}
+	a := w.mkLeafFrontier([2]float64{1, -1}, [2]float64{2, -2})
+	b := w.mkLeafFrontier([2]float64{3, -3}, [2]float64{4, -4}, [2]float64{5, -5})
 	out, err := w.mergeCross(0, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 6 {
-		t.Errorf("cross product size = %d, want 6", len(out))
+	if out.len() != 6 {
+		t.Errorf("cross product size = %d, want 6", out.len())
 	}
 }
 
 func TestMergeCrossCapacity(t *testing.T) {
 	w := testWorker(Rule4P)
 	w.eng.maxCand = 5
-	a := []*Candidate{mkCand(1, -1), mkCand(2, -2), mkCand(3, -3)}
-	b := []*Candidate{mkCand(4, -4), mkCand(5, -5)}
+	a := w.mkLeafFrontier([2]float64{1, -1}, [2]float64{2, -2}, [2]float64{3, -3})
+	b := w.mkLeafFrontier([2]float64{4, -4}, [2]float64{5, -5})
 	if _, err := w.mergeCross(0, a, b); err == nil {
 		t.Error("capacity-exceeding cross product accepted")
 	}
@@ -129,33 +145,33 @@ func TestMergeStatisticalCorrelation(t *testing.T) {
 	// smaller input (no Clark penalty).
 	w := testWorker(Rule2P)
 	src := w.eng.space.Add(variation.ClassInterDie, 1, "G")
-	a := &Candidate{
-		L: variation.Const(5),
-		T: variation.NewForm(-10, []variation.Term{{ID: src, Coef: 2}}),
+	a := newFrontier(1, false)
+	a.push(variation.Const(5),
+		variation.NewForm(-10, []variation.Term{{ID: src, Coef: 2}}), -1, w.eng.space)
+	b := newFrontier(1, false)
+	b.push(variation.Const(5),
+		variation.NewForm(-12, []variation.Term{{ID: src, Coef: 2}}), -1, w.eng.space)
+	m := newFrontier(1, false)
+	w.mergeCand(m, 0, a, 0, b, 0)
+	if m.tn[0] != -12 {
+		t.Errorf("correlated min mean = %g, want -12 exactly", m.tn[0])
 	}
-	b := &Candidate{
-		L: variation.Const(5),
-		T: variation.NewForm(-12, []variation.Term{{ID: src, Coef: 2}}),
-	}
-	m := w.mergeCand(0, a, b)
-	if m.T.Nominal != -12 {
-		t.Errorf("correlated min mean = %g, want -12 exactly", m.T.Nominal)
-	}
-	if m.L.Nominal != 10 {
-		t.Errorf("merged load = %g, want 10", m.L.Nominal)
+	if m.ln[0] != 10 {
+		t.Errorf("merged load = %g, want 10", m.ln[0])
 	}
 	// Independent inputs do get the Clark penalty (mean below both).
-	c := &Candidate{
-		L: variation.Const(5),
-		T: variation.NewForm(-10, []variation.Term{{ID: w.eng.space.Add(variation.ClassRandom, 1, "x"), Coef: 2}}),
-	}
-	d := &Candidate{
-		L: variation.Const(5),
-		T: variation.NewForm(-10, []variation.Term{{ID: w.eng.space.Add(variation.ClassRandom, 1, "y"), Coef: 2}}),
-	}
-	m2 := w.mergeCand(0, c, d)
-	if !(m2.T.Nominal < -10) {
-		t.Errorf("independent equal-mean min = %g, want below -10", m2.T.Nominal)
+	c := newFrontier(1, false)
+	c.push(variation.Const(5),
+		variation.NewForm(-10, []variation.Term{{ID: w.eng.space.Add(variation.ClassRandom, 1, "x"), Coef: 2}}),
+		-1, w.eng.space)
+	d := newFrontier(1, false)
+	d.push(variation.Const(5),
+		variation.NewForm(-10, []variation.Term{{ID: w.eng.space.Add(variation.ClassRandom, 1, "y"), Coef: 2}}),
+		-1, w.eng.space)
+	m2 := newFrontier(1, false)
+	w.mergeCand(m2, 0, c, 0, d, 0)
+	if !(m2.tn[0] < -10) {
+		t.Errorf("independent equal-mean min = %g, want below -10", m2.tn[0])
 	}
 }
 
@@ -165,25 +181,23 @@ func TestMergePreservesBestUpperBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	for trial := 0; trial < 100; trial++ {
 		w := testWorker(Rule2P)
-		mk := func(n int) []*Candidate {
-			list := make([]*Candidate, n)
-			for i := range list {
-				list[i] = mkCand(rng.Float64()*40, -rng.Float64()*60)
+		mk := func(n int) *frontier {
+			pairs := make([][2]float64, n)
+			for i := range pairs {
+				pairs[i] = [2]float64{rng.Float64() * 40, -rng.Float64() * 60}
 			}
-			return w.prn.prune(list)
+			return w.prn.prune(w.mkLeafFrontier(pairs...))
 		}
 		a := mk(1 + rng.Intn(10))
 		b := mk(1 + rng.Intn(10))
-		best := min(a[len(a)-1].T.Nominal, b[len(b)-1].T.Nominal)
+		best := min(a.tn[a.len()-1], b.tn[b.len()-1])
 		out, err := w.mergeLinear(0, a, b)
 		if err != nil {
 			t.Fatal(err)
 		}
 		out = w.prn.prune(out)
-		got := make([]float64, len(out))
-		for i, c := range out {
-			got[i] = c.T.Nominal
-		}
+		got := make([]float64, out.len())
+		copy(got, out.tn)
 		sort.Float64s(got)
 		if got[len(got)-1] != best {
 			t.Fatalf("trial %d: best merged T %g, want %g", trial, got[len(got)-1], best)

@@ -59,6 +59,12 @@ func (p FourPParams) validate() error {
 	return nil
 }
 
+// DefaultMinParallelNodes is the tree size below which parallel runs are
+// auto-degraded to serial when Options.MinParallelNodes is zero. The
+// crossover sits between the p1/r1 nets (~535 nodes, where 4 workers lose
+// to serial) and r3 (1724 nodes, where they win); see BENCH_core.json.
+const DefaultMinParallelNodes = 1024
+
 // Options configures one buffer-insertion run.
 type Options struct {
 	// Library is the buffer library (B types). Required.
@@ -96,6 +102,24 @@ type Options struct {
 	// engine. The result is bit-identical for every value — the fan-out
 	// happens at multi-child Steiner nodes and the merge order is fixed.
 	Parallelism int
+	// MinParallelNodes is the tree size below which Parallelism > 1 is
+	// degraded to the serial engine: on small trees the spawn/retire
+	// overhead costs more than subtree concurrency wins (the WIDp1 bench
+	// regresses 22.8 ms → 24.2 ms under 4 workers). 0 selects
+	// DefaultMinParallelNodes; 1 disables the degrade entirely.
+	MinParallelNodes int
+	// SubtreeCache, when non-nil, memoizes per-subtree DP frontiers across
+	// Insert calls keyed by canonical subtree fingerprints: re-inserts of
+	// edited trees (ECO flows, batch sweeps sharing subtrees) recompute
+	// only the changed branches. The cache may be shared freely across
+	// goroutines, configurations, and variation models — the fingerprint
+	// covers everything that influences a frontier. Results are identical
+	// to uncached runs; Stats candidate/arena counters reflect only the
+	// work actually performed.
+	SubtreeCache *SubtreeCache
+	// SubtreeCacheMinNodes is the smallest subtree (node count) worth
+	// caching; 0 selects DefaultSubtreeCacheMinNodes.
+	SubtreeCacheMinNodes int
 	// Context, when non-nil, cancels the run early: the engine checks it
 	// at every node and inside the quadratic 4P prune, aborting with
 	// ErrCanceled. Servers wire the per-request context here so abandoned
@@ -149,6 +173,12 @@ func (o *Options) withDefaults() (Options, error) {
 	if opts.Parallelism == 0 {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if opts.MinParallelNodes < 0 {
+		return opts, fmt.Errorf("core: negative MinParallelNodes %d", opts.MinParallelNodes)
+	}
+	if opts.SubtreeCacheMinNodes < 0 {
+		return opts, fmt.Errorf("core: negative SubtreeCacheMinNodes %d", opts.SubtreeCacheMinNodes)
+	}
 	for i, wc := range opts.WireLibrary {
 		if wc.Params.R <= 0 || wc.Params.C <= 0 {
 			return opts, fmt.Errorf("core: wire choice %d (%q) has non-positive parasitics %+v",
@@ -174,12 +204,22 @@ type Stats struct {
 	// Workers is the number of DP goroutines that participated (1 for a
 	// serial run).
 	Workers int
-	// ArenaCandidates counts slab-allocated Candidate structs;
-	// ArenaTerms and ArenaBytes describe the pooled Term arenas backing
-	// the canonical forms (see internal/variation.Arena).
+	// ArenaCandidates counts provenance records (one per candidate ever
+	// created); ArenaTerms and ArenaBytes describe the pooled Term arenas
+	// backing the canonical forms (see internal/variation.Arena).
+	// ArenaBytes is reserved slab capacity; ArenaUsedBytes the bytes of
+	// terms actually handed out — the live occupancy.
 	ArenaCandidates int64
 	ArenaTerms      int64
 	ArenaBytes      int64
+	ArenaUsedBytes  int64
+	// SubtreeHits/Misses/Stores count subtree-cache outcomes for this run:
+	// lookups that restored a memoized frontier, eligible lookups that
+	// missed, and frontiers stored for future runs. All zero when
+	// Options.SubtreeCache is nil.
+	SubtreeHits   int64
+	SubtreeMisses int64
+	SubtreeStores int64
 }
 
 // Result is the outcome of a successful insertion.

@@ -73,6 +73,9 @@ func TestParallelDeterminism(t *testing.T) {
 		}
 		parallelOpts := opts
 		parallelOpts.Parallelism = 4
+		// p1/r1 sit under the auto-serial cutoff; force the fan-out so the
+		// test actually compares parallel against serial.
+		parallelOpts.MinParallelNodes = 1
 		parallel, err := Insert(tr, parallelOpts)
 		if err != nil {
 			t.Fatal(err)
@@ -135,7 +138,10 @@ func TestParallelRepeatedRunsStable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := Options{Library: device.DefaultLibrary(), Model: model, Parallelism: 8}
+	opts := Options{
+		Library: device.DefaultLibrary(), Model: model,
+		Parallelism: 8, MinParallelNodes: 1,
+	}
 	first, err := Insert(tr, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -160,7 +166,9 @@ func TestContextCancellation(t *testing.T) {
 	for _, par := range []int{1, 4} {
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel() // already canceled: the engine must notice before finishing
-		_, err := Insert(tr, Options{Library: lib, Parallelism: par, Context: ctx})
+		_, err := Insert(tr, Options{
+			Library: lib, Parallelism: par, MinParallelNodes: 1, Context: ctx,
+		})
 		if !errors.Is(err, ErrCanceled) {
 			t.Errorf("Parallelism=%d: got %v, want ErrCanceled", par, err)
 		}

@@ -7,19 +7,23 @@ import (
 	"vabuf/internal/variation"
 )
 
-// mkCand builds a candidate with deterministic (L, T).
-func mkCand(l, t float64) *Candidate {
-	return &Candidate{L: variation.Const(l), T: variation.Const(t)}
+// mkFrontier builds a frontier of deterministic (L, T) candidates with no
+// provenance (ref -1); sigmas are carried when needSigmas is set.
+func mkFrontier(space *variation.Space, needSigmas bool, pairs ...[2]float64) *frontier {
+	f := newFrontier(len(pairs), needSigmas)
+	for _, c := range pairs {
+		f.push(variation.Const(c[0]), variation.Const(c[1]), -1, space)
+	}
+	return f
 }
 
-// mkStatCand builds a candidate whose L and T each load one private source.
-func mkStatCand(space *variation.Space, l, sl, t, st float64) *Candidate {
-	c := &Candidate{
-		L: variation.NewForm(l, []variation.Term{{ID: space.Add(variation.ClassRandom, 1, "l"), Coef: sl}}),
-		T: variation.NewForm(t, []variation.Term{{ID: space.Add(variation.ClassRandom, 1, "t"), Coef: st}}),
-	}
-	c.fillSigmas(space)
-	return c
+// pushStatCand appends a candidate whose L and T each load one private
+// source.
+func pushStatCand(f *frontier, space *variation.Space, l, sl, t, st float64) {
+	f.push(
+		variation.NewForm(l, []variation.Term{{ID: space.Add(variation.ClassRandom, 1, "l"), Coef: sl}}),
+		variation.NewForm(t, []variation.Term{{ID: space.Add(variation.ClassRandom, 1, "t"), Coef: st}}),
+		-1, space)
 }
 
 func defaultPruner(space *variation.Space) *pruner {
@@ -28,26 +32,32 @@ func defaultPruner(space *variation.Space) *pruner {
 	return newPruner(space, opts, &st)
 }
 
+// assertStaircase checks the frontier is strictly ascending in both means.
+func assertStaircase(t *testing.T, f *frontier) {
+	t.Helper()
+	for i := 1; i < f.len(); i++ {
+		if !(f.ln[i] > f.ln[i-1] && f.tn[i] > f.tn[i-1]) {
+			t.Errorf("output not strictly ascending at %d: (%g,%g) after (%g,%g)",
+				i, f.ln[i], f.tn[i], f.ln[i-1], f.tn[i-1])
+		}
+	}
+}
+
 func TestPrune2PMeanPath(t *testing.T) {
 	space := variation.NewSpace()
 	p := defaultPruner(space)
-	list := []*Candidate{
-		mkCand(5, -10), // dominated by (3, -8)
-		mkCand(3, -8),
-		mkCand(1, -20),
-		mkCand(7, -5),
-		mkCand(9, -5), // dominated: same T, more load
+	f := mkFrontier(space, false,
+		[2]float64{5, -10}, // dominated by (3, -8)
+		[2]float64{3, -8},
+		[2]float64{1, -20},
+		[2]float64{7, -5},
+		[2]float64{9, -5}, // dominated: same T, more load
+	)
+	out := p.prune(f)
+	if out.len() != 3 {
+		t.Fatalf("kept %d candidates: %v / %v", out.len(), out.ln, out.tn)
 	}
-	out := p.prune(list)
-	if len(out) != 3 {
-		t.Fatalf("kept %d candidates: %+v", len(out), out)
-	}
-	// Strictly ascending in both means.
-	for i := 1; i < len(out); i++ {
-		if !(out[i].MeanL() > out[i-1].MeanL() && out[i].MeanT() > out[i-1].MeanT()) {
-			t.Errorf("output not strictly ascending at %d", i)
-		}
-	}
+	assertStaircase(t, out)
 	if p.stats.Pruned != 2 {
 		t.Errorf("pruned counter = %d, want 2", p.stats.Pruned)
 	}
@@ -56,20 +66,21 @@ func TestPrune2PMeanPath(t *testing.T) {
 func TestPrune2PDuplicates(t *testing.T) {
 	space := variation.NewSpace()
 	p := defaultPruner(space)
-	out := p.prune([]*Candidate{mkCand(2, -3), mkCand(2, -3), mkCand(2, -3)})
-	if len(out) != 1 {
-		t.Errorf("duplicates not collapsed: kept %d", len(out))
+	out := p.prune(mkFrontier(space, false,
+		[2]float64{2, -3}, [2]float64{2, -3}, [2]float64{2, -3}))
+	if out.len() != 1 {
+		t.Errorf("duplicates not collapsed: kept %d", out.len())
 	}
 }
 
 func TestPrune2PSmallLists(t *testing.T) {
 	space := variation.NewSpace()
 	p := defaultPruner(space)
-	if got := p.prune(nil); len(got) != 0 {
-		t.Error("nil list changed")
+	if got := p.prune(nil); got.len() != 0 {
+		t.Error("nil frontier changed")
 	}
-	one := []*Candidate{mkCand(1, 1)}
-	if got := p.prune(one); len(got) != 1 {
+	one := mkFrontier(space, false, [2]float64{1, 1})
+	if got := p.prune(one); got.len() != 1 {
 		t.Error("singleton pruned")
 	}
 }
@@ -83,22 +94,22 @@ func TestPrune2PInvariantsRandom(t *testing.T) {
 		space := variation.NewSpace()
 		p := defaultPruner(space)
 		n := 2 + rng.Intn(60)
-		list := make([]*Candidate, n)
-		for i := range list {
-			list[i] = mkCand(rng.Float64()*100, -rng.Float64()*100)
+		f := newFrontier(n, false)
+		for i := 0; i < n; i++ {
+			f.push(variation.Const(rng.Float64()*100), variation.Const(-rng.Float64()*100), -1, space)
 		}
-		out := p.prune(list)
-		for i := 1; i < len(out); i++ {
-			if !(out[i].MeanL() > out[i-1].MeanL()) || !(out[i].MeanT() > out[i-1].MeanT()) {
+		out := p.prune(f)
+		for i := 1; i < out.len(); i++ {
+			if !(out.ln[i] > out.ln[i-1]) || !(out.tn[i] > out.tn[i-1]) {
 				t.Fatalf("trial %d: not a strict staircase", trial)
 			}
 		}
-		for i := range out {
-			for j := range out {
+		for i := 0; i < out.len(); i++ {
+			for j := 0; j < out.len(); j++ {
 				if i == j {
 					continue
 				}
-				if out[i].MeanL() <= out[j].MeanL() && out[i].MeanT() >= out[j].MeanT() {
+				if out.ln[i] <= out.ln[j] && out.tn[i] >= out.tn[j] {
 					t.Fatalf("trial %d: survivor %d dominated by %d", trial, j, i)
 				}
 			}
@@ -113,16 +124,16 @@ func TestPrune2PHigherPbarKeepsMore(t *testing.T) {
 	var stLow, stHigh Stats
 	low := newPruner(space, Options{PbarL: 0.5, PbarT: 0.5, FourP: DefaultFourP()}, &stLow)
 	high := newPruner(space, Options{PbarL: 0.95, PbarT: 0.95, FourP: DefaultFourP()}, &stHigh)
-	mk := func() []*Candidate {
+	mk := func(sigmas bool) *frontier {
 		// Overlapping distributions: means differ by less than a sigma.
-		out := make([]*Candidate, 0, 8)
+		f := newFrontier(8, sigmas)
 		for i := 0; i < 8; i++ {
-			out = append(out, mkStatCand(space, 10+0.2*float64(i), 2.0, -50-0.2*float64(i), 2.0))
+			pushStatCand(f, space, 10+0.2*float64(i), 2.0, -50-0.2*float64(i), 2.0)
 		}
-		return out
+		return f
 	}
-	keptLow := len(low.prune(mk()))
-	keptHigh := len(high.prune(mk()))
+	keptLow := low.prune(mk(low.needSigmas())).len()
+	keptHigh := high.prune(mk(high.needSigmas())).len()
 	if keptHigh <= keptLow {
 		t.Errorf("pbar 0.95 kept %d, pbar 0.5 kept %d; want more at higher pbar",
 			keptHigh, keptLow)
@@ -139,18 +150,20 @@ func TestPrune4PPartialOrder(t *testing.T) {
 		Rule: Rule4P, PbarL: 0.5, PbarT: 0.5, FourP: DefaultFourP(),
 	}, &st)
 	// Clearly separated candidates: 4P dominance applies.
-	a := mkStatCand(space, 1, 0.01, -5, 0.01)   // tiny load, great RAT
-	b := mkStatCand(space, 50, 0.01, -80, 0.01) // huge load, poor RAT
-	out := p.prune([]*Candidate{a, b})
-	if len(out) != 1 || out[0] != a {
-		t.Fatalf("4P failed to prune a clearly dominated candidate: kept %d", len(out))
+	sep := newFrontier(2, true)
+	pushStatCand(sep, space, 1, 0.01, -5, 0.01)   // tiny load, great RAT
+	pushStatCand(sep, space, 50, 0.01, -80, 0.01) // huge load, poor RAT
+	out := p.prune(sep)
+	if out.len() != 1 || out.ln[0] != 1 {
+		t.Fatalf("4P failed to prune a clearly dominated candidate: kept %d", out.len())
 	}
 	// Overlapping quantile bands: no pruning (the partial-order weakness).
-	c := mkStatCand(space, 10, 5, -50, 5)
-	d := mkStatCand(space, 11, 5, -51, 5)
-	out = p.prune([]*Candidate{c, d})
-	if len(out) != 2 {
-		t.Errorf("4P pruned overlapping candidates: kept %d", len(out))
+	ovl := newFrontier(2, true)
+	pushStatCand(ovl, space, 10, 5, -50, 5)
+	pushStatCand(ovl, space, 11, 5, -51, 5)
+	out = p.prune(ovl)
+	if out.len() != 2 {
+		t.Errorf("4P pruned overlapping candidates: kept %d", out.len())
 	}
 }
 
@@ -163,7 +176,7 @@ func TestDominates2PMatchesDirectProbability(t *testing.T) {
 	for i := 0; i < nsrc; i++ {
 		space.Add(variation.ClassRandom, 1, "s")
 	}
-	mk := func() *Candidate {
+	mkForms := func() (variation.Form, variation.Form) {
 		terms := func() []variation.Term {
 			var ts []variation.Term
 			for id := 0; id < nsrc; id++ {
@@ -173,27 +186,27 @@ func TestDominates2PMatchesDirectProbability(t *testing.T) {
 			}
 			return ts
 		}
-		c := &Candidate{
-			L: variation.NewForm(rng.Float64()*20, terms()),
-			T: variation.NewForm(-rng.Float64()*50, terms()),
-		}
-		c.fillSigmas(space)
-		return c
+		return variation.NewForm(rng.Float64()*20, terms()),
+			variation.NewForm(-rng.Float64()*50, terms())
 	}
 	for _, pbar := range []float64{0.6, 0.8, 0.95} {
 		var st Stats
 		p := newPruner(space, Options{PbarL: pbar, PbarT: pbar, FourP: DefaultFourP()}, &st)
 		for trial := 0; trial < 2000; trial++ {
-			a, b := mk(), mk()
-			if a.L.Nominal > b.L.Nominal {
-				a, b = b, a // the sweep guarantees this order
+			aL, aT := mkForms()
+			bL, bT := mkForms()
+			if aL.Nominal > bL.Nominal {
+				aL, aT, bL, bT = bL, bT, aL, aT // the sweep guarantees this order
 			}
-			got := p.dominates2P(a, b)
-			want := variation.ProbGreater(b.L, a.L, space) >= pbar &&
-				variation.ProbGreater(a.T, b.T, space) >= pbar
+			f := newFrontier(2, true)
+			f.push(aL, aT, -1, space)
+			f.push(bL, bT, -1, space)
+			got := p.dominates2P(f, 0, 1)
+			want := variation.ProbGreater(bL, aL, space) >= pbar &&
+				variation.ProbGreater(aT, bT, space) >= pbar
 			if got != want {
-				t.Fatalf("pbar %g trial %d: dominates=%v direct=%v\na=%+v\nb=%+v",
-					pbar, trial, got, want, a, b)
+				t.Fatalf("pbar %g trial %d: dominates=%v direct=%v\na=(%+v, %+v)\nb=(%+v, %+v)",
+					pbar, trial, got, want, aL, aT, bL, bT)
 			}
 		}
 	}

@@ -136,11 +136,18 @@ type StatsDTO struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Workers is the number of DP goroutines that participated;
 	// ArenaCandidates/ArenaTerms/ArenaBytes describe the run's slab
-	// allocations (see core.Stats).
+	// allocations and ArenaUsedBytes the slab bytes actually occupied at
+	// release (see core.Stats).
 	Workers         int   `json:"workers"`
 	ArenaCandidates int64 `json:"arena_candidates"`
 	ArenaTerms      int64 `json:"arena_terms"`
 	ArenaBytes      int64 `json:"arena_bytes"`
+	ArenaUsedBytes  int64 `json:"arena_used_bytes"`
+	// Subtree DP-frontier cache activity of this run (zero without a
+	// cache wired into Options.SubtreeCache).
+	SubtreeHits   int64 `json:"subtree_hits"`
+	SubtreeMisses int64 `json:"subtree_misses"`
+	SubtreeStores int64 `json:"subtree_stores"`
 }
 
 // AssignmentEntry is one inserted buffer in an InsertResult.
@@ -411,6 +418,10 @@ func NewInsertResult(tree *vabuf.Tree, lib vabuf.Library, algo string,
 			ArenaCandidates: res.Stats.ArenaCandidates,
 			ArenaTerms:      res.Stats.ArenaTerms,
 			ArenaBytes:      res.Stats.ArenaBytes,
+			ArenaUsedBytes:  res.Stats.ArenaUsedBytes,
+			SubtreeHits:     res.Stats.SubtreeHits,
+			SubtreeMisses:   res.Stats.SubtreeMisses,
+			SubtreeStores:   res.Stats.SubtreeStores,
 		},
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
 	}

@@ -61,6 +61,12 @@ type pruneTotals struct {
 	arenaCandidates int64
 	arenaTerms      int64
 	arenaBytes      int64
+	arenaUsedBytes  int64
+	// Subtree DP-frontier cache totals across runs (per-run counters;
+	// the cache's own lifetime view sits under caches.subtree).
+	subtreeHits   int64
+	subtreeMisses int64
+	subtreeStores int64
 }
 
 // snapshotCounters tracks the cache snapshot/warm-restart machinery.
@@ -200,6 +206,10 @@ func (m *metrics) recordRun(algo, rule string, elapsed time.Duration, res *vabuf
 	m.prune.arenaCandidates += res.Stats.ArenaCandidates
 	m.prune.arenaTerms += res.Stats.ArenaTerms
 	m.prune.arenaBytes += res.Stats.ArenaBytes
+	m.prune.arenaUsedBytes += res.Stats.ArenaUsedBytes
+	m.prune.subtreeHits += res.Stats.SubtreeHits
+	m.prune.subtreeMisses += res.Stats.SubtreeMisses
+	m.prune.subtreeStores += res.Stats.SubtreeStores
 }
 
 func cacheSnapshot(c *lruCache, capacity int) map[string]any {
@@ -217,10 +227,31 @@ func cacheSnapshot(c *lruCache, capacity int) map[string]any {
 	}
 }
 
+// subtreeCacheSnapshot renders the subtree DP-frontier cache's lifetime
+// counters for the caches section of /metrics.
+func subtreeCacheSnapshot(c *vabuf.SubtreeCache) map[string]any {
+	st := c.Stats()
+	rate := 0.0
+	if st.Hits+st.Misses > 0 {
+		rate = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	return map[string]any{
+		"hits":      st.Hits,
+		"misses":    st.Misses,
+		"stores":    st.Stores,
+		"evictions": st.Evictions,
+		"entries":   st.Entries,
+		"bytes":     st.Bytes,
+		"max_bytes": st.MaxBytes,
+		"hit_rate":  rate,
+	}
+}
+
 // snapshot assembles the full /metrics document. results may be nil
-// (result cache disabled); state is the current readiness reason (see
-// Server.readyState).
+// (result cache disabled), as may subtrees (subtree cache disabled);
+// state is the current readiness reason (see Server.readyState).
 func (m *metrics) snapshot(pool *workerPool, trees, models, results *lruCache,
+	subtrees *vabuf.SubtreeCache,
 	treeCap, modelCap, resultCap, inflight int, state string) map[string]any {
 	m.mu.Lock()
 	requests := make(map[string]map[string]int64, len(m.requests))
@@ -270,6 +301,10 @@ func (m *metrics) snapshot(pool *workerPool, trees, models, results *lruCache,
 		"arena_candidates": m.prune.arenaCandidates,
 		"arena_terms":      m.prune.arenaTerms,
 		"arena_bytes":      m.prune.arenaBytes,
+		"arena_used_bytes": m.prune.arenaUsedBytes,
+		"subtree_hits":     m.prune.subtreeHits,
+		"subtree_misses":   m.prune.subtreeMisses,
+		"subtree_stores":   m.prune.subtreeStores,
 	}
 	m.mu.Unlock()
 
@@ -312,6 +347,9 @@ func (m *metrics) snapshot(pool *workerPool, trees, models, results *lruCache,
 	}
 	if results != nil {
 		caches["result"] = cacheSnapshot(results, resultCap)
+	}
+	if subtrees != nil {
+		caches["subtree"] = subtreeCacheSnapshot(subtrees)
 	}
 	doc["caches"] = caches
 	// coalesced counts requests answered by an identical in-flight or

@@ -56,6 +56,12 @@ type Config struct {
 	// 0 selects 128; negative disables the cache (request coalescing
 	// stays on — it needs no storage).
 	ResultCacheSize int
+	// SubtreeCacheMB bounds the shared subtree DP-frontier cache
+	// (megabytes): every variation-aware run memoizes pruned per-subtree
+	// candidate frontiers keyed by canonical subtree fingerprint, so an
+	// ECO re-insert of a lightly edited tree recomputes only the changed
+	// branches. 0 selects 64 MiB; negative disables the cache.
+	SubtreeCacheMB int
 	// DefaultTimeout caps runs whose request omits timeout_ms; 0 means
 	// no server-side deadline.
 	DefaultTimeout time.Duration
@@ -116,6 +122,9 @@ func (c Config) withDefaults() Config {
 	if c.ResultCacheSize == 0 {
 		c.ResultCacheSize = 128
 	}
+	if c.SubtreeCacheMB == 0 {
+		c.SubtreeCacheMB = 64
+	}
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = 8 << 20
 	}
@@ -133,9 +142,13 @@ type Server struct {
 	// results is the content-addressed result cache (nil when disabled);
 	// flights coalesces concurrent identical requests onto one job.
 	results *lruCache
-	flights flightGroup
-	met     *metrics
-	state   serverState
+	// subtrees is the shared subtree DP-frontier cache (nil when
+	// disabled): one instance serves every run, so repeat and
+	// lightly-edited trees reuse each other's pruned frontiers.
+	subtrees *vabuf.SubtreeCache
+	flights  flightGroup
+	met      *metrics
+	state    serverState
 	// instance holds the instance identity (a string); vabufd overwrites
 	// the configured value with hostname:port after binding the listener.
 	instance atomic.Value
@@ -167,6 +180,9 @@ func New(cfg Config) *Server {
 	s.instance.Store(cfg.Instance)
 	if cfg.ResultCacheSize > 0 {
 		s.results = newLRU(cfg.ResultCacheSize)
+	}
+	if cfg.SubtreeCacheMB > 0 {
+		s.subtrees = vabuf.NewSubtreeCache(int64(cfg.SubtreeCacheMB) << 20)
 	}
 	s.mux.HandleFunc("POST /v1/insert", s.instrument("/v1/insert", s.insert))
 	s.mux.HandleFunc("POST /v1/insert:batch", s.instrument("/v1/insert:batch", s.insertBatch))
@@ -342,6 +358,7 @@ func (s *Server) prepare(req *InsertRequest) (*preparedRun, error) {
 		MaxCandidates:  req.MaxCandidates,
 		Timeout:        s.cfg.DefaultTimeout,
 		Parallelism:    req.Parallelism,
+		SubtreeCache:   s.subtrees,
 	}
 	if req.TimeoutMS > 0 {
 		opts.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -773,7 +790,7 @@ func (s *Server) healthz(*http.Request) (int, any) {
 }
 
 func (s *Server) metricsHandler(*http.Request) (int, any) {
-	doc := s.met.snapshot(s.pool, s.trees, s.models, s.results,
+	doc := s.met.snapshot(s.pool, s.trees, s.models, s.results, s.subtrees,
 		s.cfg.TreeCacheSize, s.cfg.ModelCacheSize, s.cfg.ResultCacheSize,
 		s.flights.inflight(), s.readyState())
 	// Identity of this backend, so fleet dashboards can attribute the

@@ -7,19 +7,31 @@ import (
 	"vabuf/internal/stats"
 )
 
-// arenaSlabTerms is the number of Terms per slab (~192 KiB at 12 bytes per
-// Term) — large enough that a DP worker touches the allocator a handful of
-// times per run, small enough that short runs do not over-reserve.
+// arenaClasses are the slab size classes in terms. An arena grows
+// geometrically through the classes: the first slab is tiny (a handful of
+// short forms fit), each subsequent slab takes the next class, and
+// long-lived DP workers settle on the max class. Small frontiers therefore
+// reserve kilobytes instead of the former fixed 16384-term (~256 KiB)
+// worst case, while big runs amortize exactly as before.
+var arenaClasses = [...]int{64, 256, 1024, 4096, 16384}
+
+// arenaSlabTerms is the largest slab class; requests beyond it get a
+// dedicated, never-pooled slab.
 const arenaSlabTerms = 16384
 
-// slabPool recycles standard-size slabs across Arenas (and therefore
-// across runs). Term contains no pointers, so pooled slabs cost the GC
-// nothing while parked.
-var slabPool = sync.Pool{
-	New: func() any {
-		s := make([]Term, arenaSlabTerms)
-		return &s
-	},
+// slabPools recycles standard-size slabs per class across Arenas (and
+// therefore across runs). Term contains no pointers, so pooled slabs cost
+// the GC nothing while parked.
+var slabPools [len(arenaClasses)]sync.Pool
+
+func init() {
+	for i := range slabPools {
+		sz := arenaClasses[i]
+		slabPools[i].New = func() any {
+			s := make([]Term, sz)
+			return &s
+		}
+	}
 }
 
 // Arena is a slab allocator for the Term storage behind Forms. One Arena
@@ -41,6 +53,9 @@ type Arena struct {
 	off   int
 	terms int64
 	bytes int64
+	// nextClass indexes arenaClasses for the next slab grab (geometric
+	// growth, saturating at the max class).
+	nextClass int
 }
 
 // NewArena returns an empty arena. The first slab is taken lazily.
@@ -59,9 +74,18 @@ func (a *Arena) take(n int) []Term {
 			a.slabs = append(a.slabs, &s)
 			a.cur = s
 		} else {
-			s := slabPool.Get().(*[]Term)
+			cls := a.nextClass
+			for arenaClasses[cls] < n {
+				cls++
+			}
+			s := slabPools[cls].Get().(*[]Term)
 			a.slabs = append(a.slabs, s)
 			a.cur = *s
+			if cls < len(arenaClasses)-1 {
+				a.nextClass = cls + 1
+			} else {
+				a.nextClass = cls
+			}
 		}
 		a.off = 0
 		a.bytes += int64(len(a.cur)) * int64(termBytes)
@@ -95,16 +119,23 @@ func (a *Arena) Terms() int64 { return a.terms }
 // Bytes returns the total slab bytes reserved by the arena.
 func (a *Arena) Bytes() int64 { return a.bytes }
 
-// Release parks the standard-size slabs in the shared pool and drops the
+// UsedBytes returns the bytes of terms actually handed out — the live
+// occupancy, as opposed to Bytes' reserved slab capacity.
+func (a *Arena) UsedBytes() int64 { return a.terms * int64(termBytes) }
+
+// Release parks the standard-size slabs in their class pools and drops the
 // oversized ones. The arena must not be used afterwards, and no Form built
 // from it may be touched again.
 func (a *Arena) Release() {
 	for _, s := range a.slabs {
-		if len(*s) == arenaSlabTerms {
-			slabPool.Put(s)
+		for i, sz := range arenaClasses {
+			if len(*s) == sz {
+				slabPools[i].Put(s)
+				break
+			}
 		}
 	}
-	a.slabs, a.cur, a.off = nil, nil, 0
+	a.slabs, a.cur, a.off, a.nextClass = nil, nil, 0, 0
 }
 
 // Clone detaches a form from any arena by copying its terms to the heap.
@@ -129,6 +160,17 @@ func (f Form) AXPYIn(a *Arena, s float64, g Form) Form {
 	}
 	terms := a.take(len(f.Terms) + len(g.Terms))
 	i, j := 0, 0
+	// Fast path: forms produced by the same DP node usually carry the
+	// same source set, so the two sorted lists align index-for-index.
+	// Walking the aligned prefix with one predictable branch per term
+	// computes exactly the shared-ID expression of the merge below.
+	for i < len(f.Terms) && i < len(g.Terms) && f.Terms[i].ID == g.Terms[i].ID {
+		if c := f.Terms[i].Coef + s*g.Terms[i].Coef; c != 0 {
+			terms = append(terms, Term{f.Terms[i].ID, c})
+		}
+		i++
+	}
+	j = i
 	for i < len(f.Terms) && j < len(g.Terms) {
 		x, y := f.Terms[i], g.Terms[j]
 		switch {
@@ -191,6 +233,14 @@ func blendIn(a *Arena, tf float64, f Form, tg float64, g Form) Form {
 	}
 	terms := a.take(len(fts) + len(gts))
 	i, j := 0, 0
+	// Aligned-prefix fast path; see AXPYIn.
+	for i < len(fts) && i < len(gts) && fts[i].ID == gts[i].ID {
+		if c := (tf * fts[i].Coef) + (tg * gts[i].Coef); c != 0 {
+			terms = append(terms, Term{fts[i].ID, c})
+		}
+		i++
+	}
+	j = i
 	for i < len(fts) && j < len(gts) {
 		x, y := fts[i], gts[j]
 		switch {
@@ -237,6 +287,12 @@ func varDiffOrdered(f, g Form, space *Space) float64 {
 		}
 	}
 	i, j := 0, 0
+	// Aligned-prefix fast path; see AXPYIn.
+	for i < len(f.Terms) && i < len(g.Terms) && f.Terms[i].ID == g.Terms[i].ID {
+		acc(f.Terms[i].ID, f.Terms[i].Coef+-1*g.Terms[i].Coef)
+		i++
+	}
+	j = i
 	for i < len(f.Terms) && j < len(g.Terms) {
 		x, y := f.Terms[i], g.Terms[j]
 		switch {

@@ -3,6 +3,7 @@ package variation
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"vabuf/internal/geom"
 )
@@ -61,7 +62,19 @@ type Model struct {
 	// cached spatial weight stencils keyed by grid cell, since every site
 	// inside one cell sees the same neighbourhood weights.
 	stencil map[int][]Term
+	// token identifies this model instance process-wide. Source allocation
+	// is lazy and per-instance, so forms (and anything derived from them,
+	// like cached DP frontiers) are only comparable within one instance;
+	// caches key on the token to never mix instances.
+	token uint64
 }
+
+// modelTokens hands out process-unique, non-zero model instance tokens.
+var modelTokens atomic.Uint64
+
+// Token returns the process-unique identity of this model instance
+// (non-zero; callers use 0 for "no model").
+func (m *Model) Token() uint64 { return m.token }
 
 // NewModel allocates the inter-die and spatial sources for the given
 // configuration.
@@ -88,6 +101,7 @@ func NewModel(cfg ModelConfig) (*Model, error) {
 		Grid:    grid,
 		random:  make(map[int]SourceID),
 		stencil: make(map[int][]Term),
+		token:   modelTokens.Add(1),
 	}
 	m.interDie = m.Space.Add(ClassInterDie, 1, "G")
 	if cfg.SpatialFrac > 0 {

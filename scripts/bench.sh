@@ -10,9 +10,16 @@
 # median, so one noisy run cannot skew the committed numbers. Tracked:
 #   * canonical-form kernels   (internal/variation: AXPY[In], Min[In],
 #                               SigmaDiff merge walks)
-#   * pruning rules            (internal/core: Prune2P/4P at 256/1024)
+#   * frontier scans           (internal/core: Prune2P[Mean]/4P at
+#                               256/1024 over the SoA candidate frontier;
+#                               B/op tracks arena bytes per list size)
 #   * end-to-end insertion     (internal/core + root: NOM/WID presets,
-#                               Serial vs Par4 pairs for the speedup ratio)
+#                               Serial vs Par4 vs Auto4 for the speedup
+#                               ratio and the auto-serial degrade)
+#   * subtree-DP caching       (internal/core: InsertSubtreeColdWIDr3 vs
+#                               InsertSubtreeWarmWIDr3 — a warm re-insert
+#                               with one mutated branch reuses every
+#                               untouched subtree frontier)
 #   * serve-path memoization   (internal/server: ServeInsertCold vs
 #                               ServeInsertWarm, the result-cache win)
 #   * adaptive Monte Carlo     (root: MCR3Adaptive vs MCR3Fixed; the

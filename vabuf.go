@@ -87,6 +87,12 @@ type (
 	Rule = core.Rule
 	// FourPParams are the quantile levels of the 4P baseline rule.
 	FourPParams = core.FourPParams
+	// SubtreeCache memoizes per-subtree DP frontiers across Insert calls
+	// (wire one instance into Options.SubtreeCache to make batch sweeps
+	// and ECO re-inserts recompute only changed branches).
+	SubtreeCache = core.SubtreeCache
+	// SubtreeCacheStats is a point-in-time snapshot of cache counters.
+	SubtreeCacheStats = core.SubtreeCacheStats
 
 	// BenchmarkSpec describes a synthetic benchmark tree.
 	BenchmarkSpec = benchgen.Spec
@@ -148,6 +154,12 @@ func Insert(tree *Tree, opts Options) (*Result, error) {
 // DefaultLibrary returns the four-size 65 nm buffer library characterized
 // from the built-in device substrate.
 func DefaultLibrary() Library { return device.DefaultLibrary() }
+
+// NewSubtreeCache creates a subtree frontier cache bounded to maxBytes
+// (<= 0 selects the 64 MiB default). One cache may be shared by any number
+// of concurrent Insert calls and configurations; results are identical to
+// uncached runs.
+func NewSubtreeCache(maxBytes int64) *SubtreeCache { return core.NewSubtreeCache(maxBytes) }
 
 // DefaultWire is the default global-layer wire parasitics.
 var DefaultWire = rctree.DefaultWire
