@@ -393,11 +393,19 @@ type retryPolicy struct {
 }
 
 // delay computes the sleep before retry attempt (1-based). A Retry-After
-// header (seconds) takes precedence over the computed backoff; jitter of
-// ±25% keeps a fleet of clients from retrying in lockstep.
+// header (integer seconds) takes precedence over the computed backoff but
+// is clamped to at least the base backoff: servers routinely send
+// "Retry-After: 0" for "retry whenever", and honoring it literally turns
+// the retry loop into a hot spin against an already-overloaded server.
+// The HTTP-date form (and anything else unparsable) is treated the same
+// as an absent header. Jitter of ±25% on the computed backoff keeps a
+// fleet of clients from retrying in lockstep.
 func (p retryPolicy) delay(attempt int, retryAfter string) time.Duration {
 	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
-		return time.Duration(secs) * time.Second
+		if d := time.Duration(secs) * time.Second; d > p.base {
+			return d
+		}
+		return p.base
 	}
 	d := p.base << (attempt - 1)
 	if d > p.max || d <= 0 {

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryPolicyDelay locks the Retry-After handling: an honored hint
+// is clamped to at least the base backoff (a "Retry-After: 0" must not
+// produce a zero-sleep hot retry loop), unparsable values — including
+// the HTTP-date form — fall back to the jittered backoff, and the
+// computed backoff grows exponentially under the cap.
+func TestRetryPolicyDelay(t *testing.T) {
+	p := retryPolicy{retries: 8, base: 100 * time.Millisecond, max: 2 * time.Second}
+	backoffAt := func(attempt int) (lo, hi time.Duration) {
+		d := p.base << (attempt - 1)
+		if d > p.max || d <= 0 {
+			d = p.max
+		}
+		return time.Duration(float64(d) * 0.75), time.Duration(float64(d) * 1.25)
+	}
+
+	cases := []struct {
+		name       string
+		attempt    int
+		retryAfter string
+		exact      time.Duration // when > 0, the delay must equal this
+		backoff    bool          // otherwise: jittered backoff of attempt
+	}{
+		{name: "honored seconds", attempt: 1, retryAfter: "3", exact: 3 * time.Second},
+		{name: "honored with spaces", attempt: 1, retryAfter: " 2 ", exact: 2 * time.Second},
+		{name: "zero clamps to base", attempt: 1, retryAfter: "0", exact: p.base},
+		{name: "sub-base clamps to base", attempt: 5, retryAfter: "0", exact: p.base},
+		{name: "negative ignored", attempt: 1, retryAfter: "-5", backoff: true},
+		{name: "http-date ignored", attempt: 2, retryAfter: "Fri, 31 Dec 1999 23:59:59 GMT", backoff: true},
+		{name: "garbage ignored", attempt: 2, retryAfter: "soon", backoff: true},
+		{name: "absent backs off", attempt: 1, retryAfter: "", backoff: true},
+		{name: "backoff grows", attempt: 3, retryAfter: "", backoff: true},
+		{name: "backoff caps at max", attempt: 20, retryAfter: "", backoff: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// The jitter is random: sample repeatedly so a lucky draw
+			// can't hide an out-of-range delay.
+			for i := 0; i < 50; i++ {
+				got := p.delay(tc.attempt, tc.retryAfter)
+				if got <= 0 {
+					t.Fatalf("delay(%d, %q) = %v; a retry sleep must be positive",
+						tc.attempt, tc.retryAfter, got)
+				}
+				if tc.exact > 0 {
+					if got != tc.exact {
+						t.Fatalf("delay(%d, %q) = %v, want exactly %v",
+							tc.attempt, tc.retryAfter, got, tc.exact)
+					}
+					continue
+				}
+				lo, hi := backoffAt(tc.attempt)
+				if got < lo || got > hi {
+					t.Fatalf("delay(%d, %q) = %v outside the jitter band [%v, %v]",
+						tc.attempt, tc.retryAfter, got, lo, hi)
+				}
+			}
+		})
+	}
+}

@@ -14,18 +14,27 @@
 //	GET  /readyz           503 until at least one backend probes healthy
 //	GET  /metrics          per-backend counters, failovers, probe state,
 //	                       scatter fan-out histogram, peer-fill queue
+//	GET/POST /admin/backends  (with -admin) inspect/replace membership
 //
 // A background poller probes each backend's /readyz on a jittered
 // interval with hysteresis; a failed proxy attempt marks the backend
 // down immediately. Results served by a failover backend are replayed
 // asynchronously to the recovered owner (POST /v1/cache/fill) so the
-// fleet's cache partition re-converges without recomputation.
+// fleet's cache partition re-converges without recomputation, and a key
+// whose owner changed is first looked up synchronously at its previous
+// owner (POST /v1/cache/lookup) before being recomputed cold.
+//
+// Membership is dynamic: with -backends-file, SIGHUP re-reads the file
+// and rebuilds the ring in place — in-flight requests finish against
+// the old view, new backends take traffic once their probes pass, and
+// removed backends' probers and pending fills are retired.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
@@ -38,11 +47,46 @@ import (
 	"vabuf/internal/router"
 )
 
+// parseBackendList splits a backend list on commas, whitespace, and
+// newlines, ignoring blanks and #-comment lines — the shared format of
+// the -backends flag and the -backends-file contents.
+func parseBackendList(s string) []string {
+	var urls []string
+	for _, line := range strings.Split(s, "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		for _, b := range strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t' || r == '\r'
+		}) {
+			if b = strings.TrimSpace(b); b != "" {
+				urls = append(urls, strings.TrimRight(b, "/"))
+			}
+		}
+	}
+	return urls
+}
+
+// readBackendsFile loads and parses a -backends-file.
+func readBackendsFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	urls := parseBackendList(string(data))
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("%s contains no backend URLs", path)
+	}
+	return urls, nil
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", ":8576", "listen address")
 		backends = flag.String("backends", "",
-			"comma-separated vabufd base URLs forming the ring (required), e.g. http://127.0.0.1:8577,http://127.0.0.1:8578")
+			"comma-separated vabufd base URLs forming the ring, e.g. http://127.0.0.1:8577,http://127.0.0.1:8578 (exactly one of -backends/-backends-file)")
+		backendsFile = flag.String("backends-file", "",
+			"file listing vabufd base URLs (one per line or comma/space separated, # comments); SIGHUP re-reads it and rebuilds the ring")
 		vnodes = flag.Int("vnodes", 0,
 			"virtual nodes per backend on the hash ring (0 = 64)")
 		probeEvery = flag.Duration("probe-every", 2*time.Second,
@@ -57,17 +101,30 @@ func main() {
 			"pending peer-cache-fill queue depth (0 = default, negative disables peer fill)")
 		fillWait = flag.Duration("fill-wait", 2*time.Minute,
 			"how long a queued fill waits for its owner to recover before being dropped")
+		lookupTimeout = flag.Duration("lookup-timeout", 500*time.Millisecond,
+			"deadline for one synchronous peer cache lookup (negative disables peer lookup)")
+		lookupWindow = flag.Duration("lookup-window", time.Minute,
+			"how long after a ring rebuild moved keys are still looked up at their previous owner")
+		admin = flag.Bool("admin", false,
+			"expose GET/POST /admin/backends for runtime membership changes")
 	)
 	flag.Parse()
 
+	if (*backends == "") == (*backendsFile == "") {
+		log.Fatal("vabufr: exactly one of -backends or -backends-file is required")
+	}
 	var urls []string
-	for _, b := range strings.Split(*backends, ",") {
-		if b = strings.TrimSpace(b); b != "" {
-			urls = append(urls, strings.TrimRight(b, "/"))
+	if *backendsFile != "" {
+		var err error
+		urls, err = readBackendsFile(*backendsFile)
+		if err != nil {
+			log.Fatalf("vabufr: reading -backends-file: %v", err)
 		}
+	} else {
+		urls = parseBackendList(*backends)
 	}
 	if len(urls) == 0 {
-		log.Fatal("vabufr: -backends is required (comma-separated vabufd base URLs)")
+		log.Fatal("vabufr: backend list is empty")
 	}
 
 	rt, err := router.New(router.Config{
@@ -80,6 +137,9 @@ func main() {
 		MaxRequestBytes: *maxBody,
 		FillQueue:       *fillQueue,
 		FillWait:        *fillWait,
+		LookupTimeout:   *lookupTimeout,
+		LookupWindow:    *lookupWindow,
+		EnableAdmin:     *admin,
 	})
 	if err != nil {
 		log.Fatalf("vabufr: %v", err)
@@ -87,6 +147,28 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP re-reads -backends-file and rebuilds the ring. Without a
+	// file there is nothing to re-read; the signal is acknowledged and
+	// ignored so an orchestrator's blanket HUP never kills the router.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if *backendsFile == "" {
+				log.Print("vabufr: SIGHUP ignored (no -backends-file)")
+				continue
+			}
+			next, err := readBackendsFile(*backendsFile)
+			if err != nil {
+				log.Printf("vabufr: SIGHUP reload failed, keeping current ring: %v", err)
+				continue
+			}
+			if err := rt.Reload(next); err != nil {
+				log.Printf("vabufr: SIGHUP reload rejected, keeping current ring: %v", err)
+			}
+		}
+	}()
 
 	// Listen before logging so -addr with port 0 reports the bound port —
 	// scripts/fleet.sh and the integration tests parse this line.
@@ -110,7 +192,11 @@ func main() {
 
 	select {
 	case err := <-errc:
-		log.Fatalf("vabufr: %v", err)
+		// Not log.Fatalf: the probers and the fill worker must drain
+		// before exit, or an in-flight peer fill could be cut mid-POST.
+		log.Printf("vabufr: serve: %v", err)
+		rt.Close()
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 

@@ -13,12 +13,20 @@ package router
 // never a correctness requirement (the owner would simply recompute on
 // the next repeat), so under pressure the router drops fills and counts
 // them instead of holding request goroutines hostage.
+//
+// Pending fills are kept in per-owner lists, not one FIFO: a single
+// queue would let one dead owner head-of-line-block fills destined for
+// healthy owners for up to the whole recovery wait. The delivery worker
+// sweeps the owners on every wake and delivers every job whose owner is
+// currently healthy, while jobs for still-down owners simply wait in
+// their own list until they recover or their deadline expires.
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
 	"net/http"
+	"sync"
 	"time"
 
 	"vabuf/internal/server"
@@ -26,7 +34,7 @@ import (
 
 // fillJob is one pending peer cache fill.
 type fillJob struct {
-	owner int    // backend index whose cache went cold
+	owner string // backend URL whose cache went cold
 	kind  string // "insert" or "yield"
 	epoch string // epoch of the backend that computed the result
 	// request/result are the original request and the serving backend's
@@ -38,36 +46,41 @@ type fillJob struct {
 	deadline time.Time
 }
 
-// filler owns the fill queue and its single delivery worker. One worker
-// is enough: fills are tiny POSTs, and serializing them keeps a
+// filler owns the pending fills and their single delivery worker. One
+// worker is enough: fills are tiny POSTs, and serializing them keeps a
 // recovering backend from being hammered with its whole backlog at once.
 type filler struct {
-	ch       chan fillJob
-	backends []string
-	prober   *prober
-	client   *http.Client
-	met      *rmetrics
-	wait     time.Duration // per-job recovery wait (deadline at enqueue)
-	poll     time.Duration // how often to re-check the owner while down
-	stop     chan struct{}
-	done     chan struct{}
-	logf     func(format string, args ...any)
+	prober *prober
+	client *http.Client
+	met    *rmetrics
+	wait   time.Duration // per-job recovery wait (deadline at enqueue)
+	poll   time.Duration // how often to re-sweep owners between wakes
+	logf   func(format string, args ...any)
+
+	mu      sync.Mutex
+	pending map[string][]fillJob // owner URL -> FIFO of its jobs
+	total   int                  // jobs across all owners, bounded by cap
+	cap     int
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
 }
 
-func newFiller(backends []string, prober *prober, client *http.Client,
-	met *rmetrics, queue int, wait, poll time.Duration,
-	logf func(string, ...any)) *filler {
+func newFiller(prober *prober, client *http.Client, met *rmetrics,
+	queue int, wait, poll time.Duration, logf func(string, ...any)) *filler {
 	f := &filler{
-		ch:       make(chan fillJob, queue),
-		backends: backends,
-		prober:   prober,
-		client:   client,
-		met:      met,
-		wait:     wait,
-		poll:     poll,
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
-		logf:     logf,
+		prober:  prober,
+		client:  client,
+		met:     met,
+		wait:    wait,
+		poll:    poll,
+		logf:    logf,
+		pending: make(map[string][]fillJob),
+		cap:     queue,
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	go f.run()
 	return f
@@ -81,42 +94,108 @@ func (f *filler) close() {
 // enqueue queues one fill, dropping it (counted) when the queue is full.
 func (f *filler) enqueue(job fillJob) {
 	job.deadline = time.Now().Add(f.wait)
-	select {
-	case f.ch <- job:
-		f.met.recordFillQueued(false)
-	default:
+	f.mu.Lock()
+	if f.total >= f.cap {
+		f.mu.Unlock()
 		f.met.recordFillQueued(true)
+		return
+	}
+	f.pending[job.owner] = append(f.pending[job.owner], job)
+	f.total++
+	f.mu.Unlock()
+	f.met.recordFillQueued(false)
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+}
+
+// retire drops every pending fill of a backend that left the ring — its
+// cache keys moved with it, so the fills have nowhere useful to go.
+func (f *filler) retire(owner string) {
+	f.mu.Lock()
+	n := len(f.pending[owner])
+	delete(f.pending, owner)
+	f.total -= n
+	f.mu.Unlock()
+	if n > 0 {
+		f.met.recordFillDrops(n)
 	}
 }
 
 // backlog reports the queued-but-undelivered fill count (metrics).
-func (f *filler) backlog() int { return len(f.ch) }
+func (f *filler) backlog() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
 
 func (f *filler) run() {
 	defer close(f.done)
+	t := time.NewTicker(f.poll)
+	defer t.Stop()
 	for {
 		select {
 		case <-f.stop:
 			return
-		case job := <-f.ch:
+		case <-f.wake:
+		case <-t.C:
+		}
+		f.sweep()
+	}
+}
+
+// sweep visits every owner with pending jobs: healthy owners get their
+// whole list delivered (serially), down owners only shed jobs whose
+// recovery deadline passed. A dead owner never delays anyone else's
+// fills — its list just sits there until its probe recovers.
+func (f *filler) sweep() {
+	f.mu.Lock()
+	deliverable := make(map[string][]fillJob)
+	now := time.Now()
+	for owner, jobs := range f.pending {
+		if f.prober.healthy(owner) {
+			deliverable[owner] = jobs
+			delete(f.pending, owner)
+			f.total -= len(jobs)
+			continue
+		}
+		kept := jobs[:0]
+		expired := 0
+		for _, j := range jobs {
+			if now.After(j.deadline) {
+				expired++
+				continue
+			}
+			kept = append(kept, j)
+		}
+		if expired > 0 {
+			f.total -= expired
+			if len(kept) == 0 {
+				delete(f.pending, owner)
+			} else {
+				f.pending[owner] = kept
+			}
+			for i := 0; i < expired; i++ {
+				f.met.recordFillOutcome(owner, false)
+			}
+		}
+	}
+	f.mu.Unlock()
+	for _, jobs := range deliverable {
+		for _, job := range jobs {
+			select {
+			case <-f.stop:
+				return
+			default:
+			}
 			f.deliver(job)
 		}
 	}
 }
 
-// deliver waits for the owner to recover, then posts the fill once.
+// deliver posts one fill to its (healthy) owner.
 func (f *filler) deliver(job fillJob) {
-	for !f.prober.healthy(job.owner) {
-		if time.Now().After(job.deadline) {
-			f.met.recordFillOutcome(job.owner, false)
-			return
-		}
-		select {
-		case <-f.stop:
-			return
-		case <-time.After(f.poll):
-		}
-	}
 	payload, err := json.Marshal(server.CacheFillRequest{
 		Kind:    job.kind,
 		Epoch:   job.epoch,
@@ -130,7 +209,7 @@ func (f *filler) deliver(job fillJob) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		f.backends[job.owner]+"/v1/cache/fill", bytes.NewReader(payload))
+		job.owner+"/v1/cache/fill", bytes.NewReader(payload))
 	if err != nil {
 		f.met.recordFillOutcome(job.owner, false)
 		return
@@ -139,7 +218,7 @@ func (f *filler) deliver(job fillJob) {
 	resp, err := f.client.Do(req)
 	if err != nil {
 		f.met.recordFillOutcome(job.owner, false)
-		f.logf("vabufr: peer fill to %s failed: %v", f.backends[job.owner], err)
+		f.logf("vabufr: peer fill to %s failed: %v", job.owner, err)
 		return
 	}
 	defer resp.Body.Close()
@@ -148,7 +227,7 @@ func (f *filler) deliver(job fillJob) {
 		// generation while the fill waited — exactly the stale result the
 		// epoch exists to refuse. Count it and move on.
 		f.met.recordFillOutcome(job.owner, false)
-		f.logf("vabufr: peer fill to %s refused: %s", f.backends[job.owner], resp.Status)
+		f.logf("vabufr: peer fill to %s refused: %s", job.owner, resp.Status)
 		return
 	}
 	f.met.recordFillOutcome(job.owner, true)

@@ -177,14 +177,22 @@ func resultCacheStat(t *testing.T, b *fleetBackend, field string) float64 {
 	return v
 }
 
-// ownerOf computes the ring owner of a request the way the router does:
-// normalize, fingerprint with the empty epoch.
-func ownerOf(t *testing.T, rt *Router, req server.InsertRequest) int {
+// ownerOf computes the ring owner of a request the way the router does
+// (normalize, fingerprint with the empty epoch) and returns its fleet
+// index.
+func ownerOf(t *testing.T, rt *Router, fleet []*fleetBackend, req server.InsertRequest) int {
 	t.Helper()
 	if err := req.Normalize(); err != nil {
 		t.Fatal(err)
 	}
-	return rt.ring.owner(req.Fingerprint(""))
+	url := rt.mem.Load().ring.owner(req.Fingerprint(""))
+	for i, b := range fleet {
+		if b.ts.URL == url {
+			return i
+		}
+	}
+	t.Fatalf("ring owner %s is not a fleet member", url)
+	return -1
 }
 
 // TestRouterRepeatHitsSameOwner: repeats of one request land on one
@@ -203,7 +211,7 @@ func TestRouterRepeatHitsSameOwner(t *testing.T) {
 	if inst1 == "" {
 		t.Fatal("response missing Vabuf-Instance header")
 	}
-	owner := ownerOf(t, rt, req)
+	owner := ownerOf(t, rt, fleet, req)
 	if want := fleet[owner].name; inst1 != want {
 		t.Errorf("request served by %s, ring owner is %s", inst1, want)
 	}
@@ -308,10 +316,10 @@ func TestFailoverOnBackendKill(t *testing.T) {
 	fleet := newFleet(t, 2, "")
 	rt, ts := newTestRouter(t, fleet)
 	req := server.InsertRequest{Tree: treeText(t, 2), Algo: "nom"}
-	owner := ownerOf(t, rt, req)
+	owner := ownerOf(t, rt, fleet, req)
 
 	fleet[owner].down.Store(true)
-	waitFor(t, "prober to mark owner down", func() bool { return !rt.prober.healthy(owner) })
+	waitFor(t, "prober to mark owner down", func() bool { return !rt.prober.healthy(fleet[owner].ts.URL) })
 
 	resp, raw := postJSON(t, ts.URL+"/v1/insert", req)
 	if resp.StatusCode != http.StatusOK {
@@ -320,13 +328,13 @@ func TestFailoverOnBackendKill(t *testing.T) {
 	if inst := resp.Header.Get("Vabuf-Instance"); inst != fleet[1-owner].name {
 		t.Errorf("failover served by %q, want successor %q", inst, fleet[1-owner].name)
 	}
-	if n := rt.met.failoversOf(owner); n < 1 {
+	if n := rt.met.failoversOf(fleet[owner].ts.URL); n < 1 {
 		t.Errorf("owner failover count = %d, want >= 1", n)
 	}
 
 	// Recovery: ownership returns to the ring owner.
 	fleet[owner].down.Store(false)
-	waitFor(t, "prober to mark owner healthy", func() bool { return rt.prober.healthy(owner) })
+	waitFor(t, "prober to mark owner healthy", func() bool { return rt.prober.healthy(fleet[owner].ts.URL) })
 	resp2, raw2 := postJSON(t, ts.URL+"/v1/insert", req)
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("post-recovery insert: status %d: %s", resp2.StatusCode, raw2)
@@ -371,12 +379,12 @@ func TestPeerFillConvergence(t *testing.T) {
 	fleet := newFleet(t, 2, "")
 	rt, ts := newTestRouter(t, fleet)
 	req := server.InsertRequest{Tree: treeText(t, 4), Algo: "wid"}
-	owner := ownerOf(t, rt, req)
+	owner := ownerOf(t, rt, fleet, req)
 	sibling := 1 - owner
 
 	// Kill the owner before it ever sees the request: the sibling computes.
 	fleet[owner].down.Store(true)
-	waitFor(t, "owner down", func() bool { return !rt.prober.healthy(owner) })
+	waitFor(t, "owner down", func() bool { return !rt.prober.healthy(fleet[owner].ts.URL) })
 	resp, raw := postJSON(t, ts.URL+"/v1/insert", req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("failover insert: status %d: %s", resp.StatusCode, raw)
@@ -404,7 +412,7 @@ func TestPeerFillConvergence(t *testing.T) {
 	// Kill the sibling: the repeat routes to the owner and must be a
 	// cache hit — the fill carried the answer, nothing recomputes.
 	fleet[sibling].down.Store(true)
-	waitFor(t, "sibling down", func() bool { return !rt.prober.healthy(sibling) })
+	waitFor(t, "sibling down", func() bool { return !rt.prober.healthy(fleet[sibling].ts.URL) })
 	resp2, raw2 := postJSON(t, ts.URL+"/v1/insert", req)
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("post-fill insert: status %d: %s", resp2.StatusCode, raw2)
@@ -457,9 +465,9 @@ func TestRouterRejectsBadRequestLocally(t *testing.T) {
 		t.Errorf("400 body is not an ErrorResult: %s", raw)
 	}
 	// No backend was bothered.
-	for i := range fleet {
-		if n := rt.met.proxiedOf(i); n != 0 {
-			t.Errorf("backend %d proxied %d requests for a locally-rejected body", i, n)
+	for _, b := range fleet {
+		if n := rt.met.proxiedOf(b.ts.URL); n != 0 {
+			t.Errorf("backend %s proxied %d requests for a locally-rejected body", b.name, n)
 		}
 	}
 }

@@ -8,12 +8,17 @@ package router
 // probe — the backend just dropped a real request — so it marks the
 // backend down immediately and kicks an out-of-band probe, which is what
 // bounds failover latency to at most one probe interval after a kill.
+//
+// Membership is dynamic: add starts a poll loop for a new backend,
+// remove stops and forgets one. State is keyed by backend URL, so a
+// ring rebuild never renumbers anyone's health history.
 
 import (
 	"context"
 	"encoding/json"
 	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
@@ -65,69 +70,124 @@ type readyzBody struct {
 	Epoch    string `json:"epoch"`
 }
 
-// prober runs one polling goroutine per backend.
+// probeEntry is one probed backend: its state plus the channels driving
+// its poll loop.
+type probeEntry struct {
+	state *backendState
+	// kick wakes the poll loop early: after a proxy error (re-confirm
+	// the death quickly) and in tests.
+	kick chan struct{}
+	// stop ends the poll loop (backend removed, or prober closing).
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// prober runs one polling goroutine per current backend.
 type prober struct {
-	cfg      probeConfig
-	backends []string
-	client   *http.Client
-	states   []*backendState
-	// kick channels wake a backend's poll loop early: after a proxy
-	// error (re-confirm the death quickly) and in tests.
-	kick []chan struct{}
-	stop chan struct{}
-	wg   sync.WaitGroup
+	cfg    probeConfig
+	client *http.Client
+
+	mu      sync.Mutex
+	entries map[string]*probeEntry // keyed by backend URL
+	closed  bool
+	wg      sync.WaitGroup
 	// onTransition observes health flips (logging); may be nil.
 	onTransition func(backend string, healthy bool, reason string)
 }
 
-func newProber(backends []string, cfg probeConfig, client *http.Client,
+func newProber(cfg probeConfig, client *http.Client,
 	onTransition func(string, bool, string)) *prober {
-	p := &prober{
+	return &prober{
 		cfg:          cfg.withDefaults(),
-		backends:     backends,
 		client:       client,
-		states:       make([]*backendState, len(backends)),
-		kick:         make([]chan struct{}, len(backends)),
-		stop:         make(chan struct{}),
+		entries:      make(map[string]*probeEntry),
 		onTransition: onTransition,
 	}
-	for i := range backends {
-		p.states[i] = &backendState{}
-		p.kick[i] = make(chan struct{}, 1)
-	}
-	return p
 }
 
-// start launches the poll loops. Backends start *down*: the router's own
-// /readyz answers 503 until the first successful probe proves at least
-// one backend can take traffic.
-func (p *prober) start() {
-	for i := range p.backends {
-		p.wg.Add(1)
-		go p.loop(i)
+// add starts probing a backend. A backend starts *down*: it takes no
+// traffic until its first recoverAfter consecutive successful probes.
+// Adding an already-probed backend is a no-op.
+func (p *prober) add(url string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.entries[url] != nil {
+		return
+	}
+	e := &probeEntry{
+		state: &backendState{},
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+	}
+	p.entries[url] = e
+	p.wg.Add(1)
+	go p.loop(url, e)
+}
+
+// remove stops probing a backend and forgets its state; healthy()
+// answers false for it from now on. A no-op for unknown backends.
+func (p *prober) remove(url string) {
+	p.mu.Lock()
+	e := p.entries[url]
+	delete(p.entries, url)
+	p.mu.Unlock()
+	if e != nil {
+		e.stopOnce.Do(func() { close(e.stop) })
 	}
 }
 
+// close stops every poll loop and waits for them to exit.
 func (p *prober) close() {
-	close(p.stop)
+	p.mu.Lock()
+	p.closed = true
+	entries := p.entries
+	p.entries = make(map[string]*probeEntry)
+	p.mu.Unlock()
+	for _, e := range entries {
+		e.stopOnce.Do(func() { close(e.stop) })
+	}
 	p.wg.Wait()
 }
 
-// loop probes backend i forever: immediately on start, then on the
-// jittered interval, or earlier when kicked.
-func (p *prober) loop(i int) {
+// entry fetches the live entry of a backend (nil when unknown/removed).
+func (p *prober) entry(url string) *probeEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.entries[url]
+}
+
+// urls snapshots the currently probed backends.
+func (p *prober) urls() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.entries))
+	for u := range p.entries {
+		out = append(out, u)
+	}
+	return out
+}
+
+// loop probes one backend forever: immediately on start, then on the
+// jittered interval, or earlier when kicked. It exits when the entry is
+// stopped (backend removed or prober closed).
+func (p *prober) loop(url string, e *probeEntry) {
 	defer p.wg.Done()
 	for {
-		p.probeOnce(i)
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
+		p.probeOnce(url, e)
 		// ±30% jitter decorrelates the probes of multiple routers (and of
 		// this router's backends) so a fleet never sees probe bursts.
 		d := time.Duration(float64(p.cfg.interval) * (0.7 + 0.6*rand.Float64()))
 		t := time.NewTimer(d)
 		select {
-		case <-p.stop:
+		case <-e.stop:
 			t.Stop()
 			return
-		case <-p.kick[i]:
+		case <-e.kick:
 			t.Stop()
 		case <-t.C:
 		}
@@ -135,17 +195,17 @@ func (p *prober) loop(i int) {
 }
 
 // probeOnce performs one /readyz probe and applies the hysteresis rules.
-func (p *prober) probeOnce(i int) {
+func (p *prober) probeOnce(url string, e *probeEntry) {
 	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.backends[i]+"/readyz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/readyz", nil)
 	if err != nil {
-		p.recordProbe(i, false, "", "", err.Error())
+		p.recordProbe(url, e, false, "", "", err.Error())
 		return
 	}
 	resp, err := p.client.Do(req)
 	if err != nil {
-		p.recordProbe(i, false, "", "", err.Error())
+		p.recordProbe(url, e, false, "", "", err.Error())
 		return
 	}
 	defer resp.Body.Close()
@@ -157,15 +217,15 @@ func (p *prober) probeOnce(i int) {
 		if reason == "" {
 			reason = resp.Status
 		}
-		p.recordProbe(i, false, body.Instance, body.Epoch, "readyz: "+reason)
+		p.recordProbe(url, e, false, body.Instance, body.Epoch, "readyz: "+reason)
 		return
 	}
-	p.recordProbe(i, true, body.Instance, body.Epoch, "")
+	p.recordProbe(url, e, true, body.Instance, body.Epoch, "")
 }
 
 // recordProbe folds one probe outcome into the backend's state.
-func (p *prober) recordProbe(i int, ok bool, instance, epoch, errMsg string) {
-	st := p.states[i]
+func (p *prober) recordProbe(url string, e *probeEntry, ok bool, instance, epoch, errMsg string) {
+	st := e.state
 	st.mu.Lock()
 	st.probes++
 	st.lastProbe = time.Now()
@@ -200,15 +260,19 @@ func (p *prober) recordProbe(i int, ok bool, instance, epoch, errMsg string) {
 	}
 	st.mu.Unlock()
 	if flipped && p.onTransition != nil {
-		p.onTransition(p.backends[i], nowHealthy, errMsg)
+		p.onTransition(url, nowHealthy, errMsg)
 	}
 }
 
-// noteProxyError marks backend i down immediately — a dropped live
+// noteProxyError marks a backend down immediately — a dropped live
 // request outranks probe hysteresis — and kicks its poll loop so
-// recovery detection starts right away.
-func (p *prober) noteProxyError(i int, err error) {
-	st := p.states[i]
+// recovery detection starts right away. A no-op for removed backends.
+func (p *prober) noteProxyError(url string, err error) {
+	e := p.entry(url)
+	if e == nil {
+		return
+	}
+	st := e.state
 	st.mu.Lock()
 	st.lastErr = err.Error()
 	st.oks = 0
@@ -220,42 +284,79 @@ func (p *prober) noteProxyError(i int, err error) {
 	}
 	st.mu.Unlock()
 	if flipped && p.onTransition != nil {
-		p.onTransition(p.backends[i], false, err.Error())
+		p.onTransition(url, false, err.Error())
 	}
 	select {
-	case p.kick[i] <- struct{}{}:
+	case e.kick <- struct{}{}:
 	default:
 	}
 }
 
-// healthy reports whether backend i currently takes traffic.
-func (p *prober) healthy(i int) bool {
-	st := p.states[i]
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.healthy
+// healthy reports whether a backend currently takes traffic. Unknown
+// (removed) backends answer false.
+func (p *prober) healthy(url string) bool {
+	e := p.entry(url)
+	if e == nil {
+		return false
+	}
+	e.state.mu.Lock()
+	defer e.state.mu.Unlock()
+	return e.state.healthy
+}
+
+// reachable reports whether a backend's process is believed alive even
+// if it is not taking traffic: healthy, or its last failure was an
+// HTTP-level /readyz refusal (draining, warming, shedding) rather than
+// a transport error. A reachable-but-down backend can still answer
+// cheap read-only requests — the synchronous peer lookup uses this to
+// rescue cached results from a draining owner without paying a connect
+// timeout to a truly dead one.
+func (p *prober) reachable(url string) bool {
+	e := p.entry(url)
+	if e == nil {
+		return false
+	}
+	e.state.mu.Lock()
+	defer e.state.mu.Unlock()
+	return e.state.healthy || strings.HasPrefix(e.state.lastErr, "readyz:")
 }
 
 // anyHealthy reports whether at least one backend takes traffic — the
 // router's own readiness condition.
 func (p *prober) anyHealthy() bool {
-	for i := range p.states {
-		if p.healthy(i) {
+	for _, url := range p.urls() {
+		if p.healthy(url) {
 			return true
 		}
 	}
 	return false
 }
 
-// epochOf returns the last epoch learned from backend i's /readyz.
-func (p *prober) epochOf(i int) string {
-	st := p.states[i]
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.epoch
+// epochOf returns the last epoch learned from a backend's /readyz.
+func (p *prober) epochOf(url string) string {
+	e := p.entry(url)
+	if e == nil {
+		return ""
+	}
+	e.state.mu.Lock()
+	defer e.state.mu.Unlock()
+	return e.state.epoch
 }
 
-// snapshot returns the metrics view of backend i's probe state.
+// stateSnapshot returns the metrics view of a backend's probe state
+// (zero-valued for unknown backends, e.g. one added an instant ago).
+func (p *prober) stateSnapshot(url string) map[string]any {
+	e := p.entry(url)
+	if e == nil {
+		return map[string]any{
+			"healthy": false, "instance": "", "epoch": "",
+			"probes": int64(0), "transitions": int64(0), "last_error": "",
+		}
+	}
+	return e.state.snapshot()
+}
+
+// snapshot returns the metrics view of one backend's probe state.
 func (st *backendState) snapshot() map[string]any {
 	st.mu.Lock()
 	defer st.mu.Unlock()

@@ -11,33 +11,55 @@ type backendCounters struct {
 	proxied    int64 // requests (or sub-batches) this backend answered
 	failovers  int64 // requests this backend owned but another served
 	fillsSent  int64 // peer cache fills delivered to this backend
-	fillErrors int64 // fills that failed (post error or non-200)
+	fillErrors int64 // fills that failed (post error, non-200, or expiry)
+	lookupHits int64 // synchronous peer lookups this backend answered
 }
 
-// rmetrics is the registry behind the router's GET /metrics.
+// rmetrics is the registry behind the router's GET /metrics. Counters
+// are keyed by backend URL, never by ring index, so a membership change
+// renumbers nothing: a backend that leaves and rejoins keeps its
+// history, and in-flight requests recording against a just-removed
+// backend land harmlessly in its retained entry.
 type rmetrics struct {
 	start time.Time
 
 	mu       sync.Mutex
 	requests map[string]map[string]int64 // endpoint -> status -> count
-	backends []backendCounters
+	backends map[string]*backendCounters // backend URL -> counters
 	// fanout histograms how many distinct backends each batch request
 	// scattered to (key = owner-group count).
 	fanout map[int]int64
-	// ringRebuilds counts ring constructions (membership is static per
-	// process today, so this is 1 until dynamic membership lands).
+	// ringRebuilds counts ring constructions: 1 at boot, +1 per
+	// membership reload that changed the member set.
 	ringRebuilds int64
 	fillQueued   int64
 	fillDropped  int64
+	// Synchronous peer-lookup outcomes: hits served a moved/failover key
+	// from the previous owner's cache, misses fell through to a normal
+	// (cold) proxy, errors are transport failures or refusals.
+	lookupHits   int64
+	lookupMisses int64
+	lookupErrors int64
 }
 
-func newRMetrics(nBackends int) *rmetrics {
+func newRMetrics() *rmetrics {
 	return &rmetrics{
 		start:    time.Now(),
 		requests: make(map[string]map[string]int64),
-		backends: make([]backendCounters, nBackends),
+		backends: make(map[string]*backendCounters),
 		fanout:   make(map[int]int64),
 	}
+}
+
+// of returns the counters of a backend, creating them on first touch.
+// Callers must hold m.mu.
+func (m *rmetrics) of(url string) *backendCounters {
+	c := m.backends[url]
+	if c == nil {
+		c = &backendCounters{}
+		m.backends[url] = c
+	}
+	return c
 }
 
 func (m *rmetrics) recordRequest(endpoint string, status int) {
@@ -51,16 +73,16 @@ func (m *rmetrics) recordRequest(endpoint string, status int) {
 	byStatus[strconv.Itoa(status)]++
 }
 
-func (m *rmetrics) recordProxied(backend int) {
+func (m *rmetrics) recordProxied(url string) {
 	m.mu.Lock()
-	m.backends[backend].proxied++
+	m.of(url).proxied++
 	m.mu.Unlock()
 }
 
 // recordFailover counts a request against the owner that missed it.
-func (m *rmetrics) recordFailover(owner int) {
+func (m *rmetrics) recordFailover(owner string) {
 	m.mu.Lock()
-	m.backends[owner].failovers++
+	m.of(owner).failovers++
 	m.mu.Unlock()
 }
 
@@ -86,34 +108,80 @@ func (m *rmetrics) recordFillQueued(dropped bool) {
 	m.mu.Unlock()
 }
 
-func (m *rmetrics) recordFillOutcome(backend int, ok bool) {
+// recordFillDrops counts n fills dropped in bulk (retired owner).
+func (m *rmetrics) recordFillDrops(n int) {
+	m.mu.Lock()
+	m.fillDropped += int64(n)
+	m.mu.Unlock()
+}
+
+func (m *rmetrics) recordFillOutcome(url string, ok bool) {
 	m.mu.Lock()
 	if ok {
-		m.backends[backend].fillsSent++
+		m.of(url).fillsSent++
 	} else {
-		m.backends[backend].fillErrors++
+		m.of(url).fillErrors++
 	}
 	m.mu.Unlock()
 }
 
-// failoversOf returns the failover count charged to a backend (tests).
-func (m *rmetrics) failoversOf(backend int) int64 {
+// recordLookup counts one synchronous peer-lookup outcome; hits also
+// credit the backend that answered.
+func (m *rmetrics) recordLookup(url string, outcome lookupOutcome) {
+	m.mu.Lock()
+	switch outcome {
+	case lookupHit:
+		m.lookupHits++
+		m.of(url).lookupHits++
+	case lookupMiss:
+		m.lookupMisses++
+	default:
+		m.lookupErrors++
+	}
+	m.mu.Unlock()
+}
+
+// lookupOutcome classifies one peer-lookup attempt.
+type lookupOutcome int
+
+const (
+	lookupHit lookupOutcome = iota
+	lookupMiss
+	lookupError
+)
+
+// ringRebuildCount returns the rebuild counter (tests, admin endpoint).
+func (m *rmetrics) ringRebuildCount() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.backends[backend].failovers
+	return m.ringRebuilds
+}
+
+// lookupHitCount returns the lookup-hit counter (tests).
+func (m *rmetrics) lookupHitCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lookupHits
+}
+
+// failoversOf returns the failover count charged to a backend (tests).
+func (m *rmetrics) failoversOf(url string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.of(url).failovers
 }
 
 // proxiedOf returns the proxied-request count of a backend (tests).
-func (m *rmetrics) proxiedOf(backend int) int64 {
+func (m *rmetrics) proxiedOf(url string) int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.backends[backend].proxied
+	return m.of(url).proxied
 }
 
-// snapshot assembles the /metrics document. Probe state is merged per
-// backend so one document answers "who is down, who serves what, where
-// do the fills go".
-func (m *rmetrics) snapshot(backends []string, prober *prober, ring *hashRing,
+// snapshot assembles the /metrics document over the *current*
+// membership. Probe state is merged per backend so one document answers
+// "who is down, who serves what, where do the fills go".
+func (m *rmetrics) snapshot(mem *membership, prober *prober,
 	fillBacklog int, ready bool) map[string]any {
 	m.mu.Lock()
 	requests := make(map[string]map[string]int64, len(m.requests))
@@ -128,20 +196,25 @@ func (m *rmetrics) snapshot(backends []string, prober *prober, ring *hashRing,
 	for groups, n := range m.fanout {
 		fanout[strconv.Itoa(groups)] = n
 	}
-	counters := make([]backendCounters, len(m.backends))
-	copy(counters, m.backends)
+	counters := make(map[string]backendCounters, len(mem.backends))
+	for _, url := range mem.backends {
+		counters[url] = *m.of(url)
+	}
 	rebuilds := m.ringRebuilds
 	queued, dropped := m.fillQueued, m.fillDropped
+	lhits, lmisses, lerrors := m.lookupHits, m.lookupMisses, m.lookupErrors
 	m.mu.Unlock()
 
-	bs := make([]map[string]any, len(backends))
-	for i, url := range backends {
-		doc := prober.states[i].snapshot()
+	bs := make([]map[string]any, len(mem.backends))
+	for i, url := range mem.backends {
+		doc := prober.stateSnapshot(url)
+		c := counters[url]
 		doc["url"] = url
-		doc["proxied"] = counters[i].proxied
-		doc["failovers"] = counters[i].failovers
-		doc["fills_sent"] = counters[i].fillsSent
-		doc["fill_errors"] = counters[i].fillErrors
+		doc["proxied"] = c.proxied
+		doc["failovers"] = c.failovers
+		doc["fills_sent"] = c.fillsSent
+		doc["fill_errors"] = c.fillErrors
+		doc["lookup_hits"] = c.lookupHits
 		bs[i] = doc
 	}
 	state := "ready"
@@ -154,9 +227,10 @@ func (m *rmetrics) snapshot(backends []string, prober *prober, ring *hashRing,
 		"requests":       requests,
 		"backends":       bs,
 		"ring": map[string]any{
-			"backends": len(backends),
-			"points":   len(ring.points),
+			"backends": len(mem.backends),
+			"points":   len(mem.ring.points),
 			"rebuilds": rebuilds,
+			"members":  append([]string(nil), mem.backends...),
 		},
 		// scatter_fanout: how many owner groups each batch split into —
 		// "1" means the whole batch shared one owner (perfect affinity).
@@ -165,6 +239,13 @@ func (m *rmetrics) snapshot(backends []string, prober *prober, ring *hashRing,
 			"queued":  queued,
 			"dropped": dropped,
 			"backlog": fillBacklog,
+		},
+		// lookups: synchronous peer-cache probes at a key's previous
+		// owner before a new/failover owner computes it cold.
+		"lookups": map[string]any{
+			"hits":   lhits,
+			"misses": lmisses,
+			"errors": lerrors,
 		},
 	}
 }

@@ -7,7 +7,11 @@
 // the ring's successor order when the owner is down, batch requests are
 // split per owner and scatter-gathered, and failover-served answers are
 // asynchronously replayed to the recovered owner (peer cache fill) so
-// the partition re-converges.
+// the partition re-converges. Membership is dynamic: the ring can be
+// rebuilt at runtime (config reload, admin endpoint) without dropping
+// in-flight requests, and a key whose owner changed is served from the
+// previous owner's cache via a synchronous peer lookup before the new
+// owner computes it cold.
 package router
 
 import (
@@ -27,14 +31,17 @@ const defaultVNodes = 64
 // owned by a backend.
 type ringPoint struct {
 	hash    uint64
-	backend int // index into the backend list
+	backend string // backend base URL
 }
 
 // hashRing is a consistent-hash ring with a bounded number of virtual
 // nodes per backend. Virtual-node positions depend only on the backend's
 // address and the vnode ordinal — never on the membership set — so
 // adding or removing a backend moves only the keys that backend gains or
-// loses and leaves every other key→owner assignment stable.
+// loses and leaves every other key→owner assignment stable. The ring is
+// immutable after construction: membership changes build a new ring and
+// swap it in atomically (see Router.Reload), so in-flight requests keep
+// a consistent view.
 type hashRing struct {
 	backends []string
 	points   []ringPoint // sorted by hash
@@ -54,13 +61,13 @@ func newRing(backends []string, vnodes int) (*hashRing, error) {
 		backends: backends,
 		points:   make([]ringPoint, 0, len(backends)*vnodes),
 	}
-	for i, b := range backends {
+	for _, b := range backends {
 		if seen[b] {
 			return nil, fmt.Errorf("duplicate backend %q in ring", b)
 		}
 		seen[b] = true
 		for v := 0; v < vnodes; v++ {
-			r.points = append(r.points, ringPoint{hash: pointHash(b, v), backend: i})
+			r.points = append(r.points, ringPoint{hash: pointHash(b, v), backend: b})
 		}
 	}
 	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
@@ -79,9 +86,9 @@ func keyHash(key string) uint64 {
 	return binary.BigEndian.Uint64(sum[:8])
 }
 
-// owner returns the backend index owning key: the backend of the first
+// owner returns the backend URL owning key: the backend of the first
 // ring point at or after the key's position, wrapping at the top.
-func (r *hashRing) owner(key string) int {
+func (r *hashRing) owner(key string) string {
 	return r.points[r.search(keyHash(key))].backend
 }
 
@@ -98,12 +105,12 @@ func (r *hashRing) search(h uint64) int {
 // key's owner — the failover order: when the owner is down, the next
 // distinct backend on the circle serves, which is also where consistent
 // hashing would send the key if the owner actually left the ring.
-func (r *hashRing) successors(key string, n int) []int {
+func (r *hashRing) successors(key string, n int) []string {
 	if n > len(r.backends) {
 		n = len(r.backends)
 	}
-	out := make([]int, 0, n)
-	seen := make(map[int]bool, n)
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
 	start := r.search(keyHash(key))
 	for i := 0; i < len(r.points) && len(out) < n; i++ {
 		p := r.points[(start+i)%len(r.points)]

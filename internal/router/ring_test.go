@@ -14,12 +14,11 @@ func testKeys(n int) []string {
 	return keys
 }
 
-// ownersByName maps each key to the *address* of its owner, so
-// assignments can be compared across rings whose index order differs.
+// ownersByName maps each key to the address of its owner.
 func ownersByName(r *hashRing, keys []string) map[string]string {
 	out := make(map[string]string, len(keys))
 	for _, k := range keys {
-		out[k] = r.backends[r.owner(k)]
+		out[k] = r.owner(k)
 	}
 	return out
 }
@@ -119,12 +118,12 @@ func TestRingSuccessors(t *testing.T) {
 			t.Fatalf("successors(%q) = %v, want %d distinct backends", k, succ, len(backends))
 		}
 		if succ[0] != r.owner(k) {
-			t.Fatalf("successors(%q)[0] = %d, owner = %d", k, succ[0], r.owner(k))
+			t.Fatalf("successors(%q)[0] = %s, owner = %s", k, succ[0], r.owner(k))
 		}
-		seen := make(map[int]bool)
+		seen := make(map[string]bool)
 		for _, b := range succ {
 			if seen[b] {
-				t.Fatalf("successors(%q) = %v repeats backend %d", k, succ, b)
+				t.Fatalf("successors(%q) = %v repeats backend %s", k, succ, b)
 			}
 			seen[b] = true
 		}
@@ -143,7 +142,7 @@ func TestRingBalance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	counts := make(map[int]int)
+	counts := make(map[string]int)
 	keys := testKeys(4000)
 	for _, k := range keys {
 		counts[r.owner(k)]++
@@ -151,7 +150,7 @@ func TestRingBalance(t *testing.T) {
 	mean := len(keys) / len(backends)
 	for b, c := range counts {
 		if c < mean/3 || c > mean*3 {
-			t.Errorf("backend %d owns %d of %d keys (mean %d) — split too skewed",
+			t.Errorf("backend %s owns %d of %d keys (mean %d) — split too skewed",
 				b, c, len(keys), mean)
 		}
 	}

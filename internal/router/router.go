@@ -10,7 +10,9 @@ import (
 	"log"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vabuf/internal/server"
@@ -18,7 +20,8 @@ import (
 
 // Config sizes one Router. Zero values select the documented defaults.
 type Config struct {
-	// Backends are the vabufd base URLs forming the ring (required).
+	// Backends are the vabufd base URLs forming the initial ring
+	// (required). Membership can change at runtime via Reload.
 	Backends []string
 	// VNodes is the number of virtual nodes per backend; <=0 selects 64.
 	VNodes int
@@ -39,6 +42,20 @@ type Config struct {
 	// FillWait bounds how long a queued fill waits for its owner to
 	// recover before being dropped; <=0 selects 2 minutes.
 	FillWait time.Duration
+	// LookupTimeout bounds one synchronous peer lookup (POST
+	// /v1/cache/lookup at a key's previous owner before the new or
+	// failover owner computes it cold); <=0 selects 500ms. Negative
+	// disables peer lookup entirely.
+	LookupTimeout time.Duration
+	// LookupWindow bounds how long after a ring rebuild moved keys are
+	// still looked up at their previous owner; <=0 selects 1 minute.
+	// The window is a transition aid: within it the async fills warm
+	// the new owners, after it moved keys route normally.
+	LookupWindow time.Duration
+	// EnableAdmin mounts the membership admin endpoints (GET/POST
+	// /admin/backends). Off by default: resizing the fleet over HTTP is
+	// opt-in via the vabufr -admin flag.
+	EnableAdmin bool
 	// Client is the proxy HTTP client; nil selects a default without a
 	// global timeout (streams are long-lived; per-attempt deadlines come
 	// from the inbound request context).
@@ -57,6 +74,12 @@ func (c Config) withDefaults() Config {
 	if c.FillWait <= 0 {
 		c.FillWait = 2 * time.Minute
 	}
+	if c.LookupTimeout == 0 {
+		c.LookupTimeout = 500 * time.Millisecond
+	}
+	if c.LookupWindow <= 0 {
+		c.LookupWindow = time.Minute
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
 	}
@@ -66,37 +89,63 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Router is the vabufr HTTP front: consistent-hash routing, health-aware
-// failover, batch scatter-gather, and peer cache fill over a static set
-// of vabufd backends. Create with New, expose via Handler, Close after
-// the listener has shut down.
+// membership is one immutable view of the fleet: the member URLs, the
+// ring over them, and the ring before the last rebuild. Handlers load
+// it once per request from the Router's atomic pointer, so a concurrent
+// Reload never changes the ground under an in-flight request — it keeps
+// routing against the view it started with and the next request sees
+// the new one.
+type membership struct {
+	backends []string        // member base URLs, in configured order
+	member   map[string]bool // set view of backends
+	ring     *hashRing
+	// prev is the ring before the last rebuild (nil until the first
+	// Reload). It answers "who owned this key a moment ago" — the
+	// backend whose cache is still warm for a key the rebuild moved.
+	// It is consulted only until prevExpires: past that the async fills
+	// have had their chance to warm the new owners and moved keys
+	// should route (and cache) normally.
+	prev        *hashRing
+	prevExpires time.Time
+}
+
+// Router is the vabufr HTTP front: consistent-hash routing with dynamic
+// membership, health-aware failover, batch scatter-gather, synchronous
+// peer lookup, and asynchronous peer cache fill over a fleet of vabufd
+// backends. Create with New, expose via Handler, Close after the
+// listener has shut down.
 type Router struct {
 	cfg    Config
-	ring   *hashRing
+	mem    atomic.Pointer[membership]
 	prober *prober
 	filler *filler // nil when peer fill is disabled
 	met    *rmetrics
 	mux    *http.ServeMux
 
+	reloadMu  sync.Mutex // serializes Reload against itself
 	closeOnce sync.Once
 }
 
 // New builds a Router over the configured backends and starts its
-// health prober (and, unless disabled, the peer-fill worker).
+// health probers (and, unless disabled, the peer-fill worker).
 func New(cfg Config) (*Router, error) {
 	cfg = cfg.withDefaults()
-	ring, err := newRing(cfg.Backends, cfg.VNodes)
+	backends, err := normalizeBackends(cfg.Backends)
+	if err != nil {
+		return nil, err
+	}
+	ring, err := newRing(backends, cfg.VNodes)
 	if err != nil {
 		return nil, err
 	}
 	rt := &Router{
-		cfg:  cfg,
-		ring: ring,
-		met:  newRMetrics(len(cfg.Backends)),
-		mux:  http.NewServeMux(),
+		cfg: cfg,
+		met: newRMetrics(),
+		mux: http.NewServeMux(),
 	}
+	rt.mem.Store(&membership{backends: backends, member: memberSet(backends), ring: ring})
 	rt.met.recordRingRebuild()
-	rt.prober = newProber(cfg.Backends, probeConfig{
+	rt.prober = newProber(probeConfig{
 		interval:     cfg.ProbeInterval,
 		timeout:      cfg.ProbeTimeout,
 		failAfter:    cfg.FailAfter,
@@ -119,7 +168,7 @@ func New(cfg Config) (*Router, error) {
 		if poll > 500*time.Millisecond {
 			poll = 500 * time.Millisecond
 		}
-		rt.filler = newFiller(cfg.Backends, rt.prober, cfg.Client, rt.met,
+		rt.filler = newFiller(rt.prober, cfg.Client, rt.met,
 			cfg.FillQueue, cfg.FillWait, poll, cfg.Logf)
 	}
 
@@ -132,16 +181,141 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("GET /healthz", rt.healthz)
 	rt.mux.HandleFunc("GET /readyz", rt.readyz)
 	rt.mux.HandleFunc("GET /metrics", rt.metricsHandler)
+	if cfg.EnableAdmin {
+		rt.mux.HandleFunc("GET /admin/backends", rt.adminGetBackends)
+		rt.mux.HandleFunc("POST /admin/backends", rt.adminSetBackends)
+	}
 
-	rt.prober.start()
+	for _, b := range backends {
+		rt.prober.add(b)
+	}
 	return rt, nil
+}
+
+// normalizeBackends trims whitespace and trailing slashes and drops
+// empties; duplicates surface later as a newRing error.
+func normalizeBackends(in []string) ([]string, error) {
+	var out []string
+	for _, b := range in {
+		b = strings.TrimSpace(b)
+		b = strings.TrimRight(b, "/")
+		if b != "" {
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("backend list is empty")
+	}
+	return out, nil
+}
+
+func memberSet(backends []string) map[string]bool {
+	set := make(map[string]bool, len(backends))
+	for _, b := range backends {
+		set[b] = true
+	}
+	return set
+}
+
+// sameMembers reports whether two backend lists name the same set
+// (order is routing-irrelevant: ring points depend only on addresses).
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := memberSet(a)
+	for _, url := range b {
+		if !set[url] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reload rebuilds the ring over a new backend set and swaps it in
+// atomically. In-flight requests keep the membership view they started
+// with; new requests route on the new ring. Probers start for added
+// backends (which begin *down* and take traffic only after their first
+// healthy probes) and stop for removed ones, whose pending peer fills
+// are dropped. A reload naming the same member set is a no-op. The
+// previous ring is retained so keys the rebuild moved are served from
+// their previous owner's cache via synchronous peer lookup instead of
+// being recomputed cold.
+func (rt *Router) Reload(backends []string) error {
+	normalized, err := normalizeBackends(backends)
+	if err != nil {
+		return err
+	}
+	rt.reloadMu.Lock()
+	defer rt.reloadMu.Unlock()
+	old := rt.mem.Load()
+	if sameMembers(old.backends, normalized) {
+		return nil
+	}
+	ring, err := newRing(normalized, rt.cfg.VNodes)
+	if err != nil {
+		return err
+	}
+	next := &membership{
+		backends:    normalized,
+		member:      memberSet(normalized),
+		ring:        ring,
+		prev:        old.ring,
+		prevExpires: time.Now().Add(rt.cfg.LookupWindow),
+	}
+	// Start probing additions before the swap so the first request
+	// routed to a new backend finds prober state (down, not unknown).
+	added, removed := 0, 0
+	for _, url := range normalized {
+		if !old.member[url] {
+			rt.prober.add(url)
+			added++
+		}
+	}
+	rt.mem.Store(next)
+	// Retire removals after the swap: requests still holding the old
+	// membership degrade gracefully (healthy() answers false for a
+	// removed backend, so they prefer surviving members).
+	for _, url := range old.backends {
+		if !next.member[url] {
+			rt.prober.remove(url)
+			if rt.filler != nil {
+				rt.filler.retire(url)
+			}
+			removed++
+		}
+	}
+	rt.met.recordRingRebuild()
+	rt.cfg.Logf("vabufr: ring rebuilt: %d backends (%d added, %d removed)",
+		len(normalized), added, removed)
+	return nil
+}
+
+// expirePrev drops the previous ring immediately, as if the lookup
+// window had elapsed (tests).
+func (rt *Router) expirePrev() {
+	rt.reloadMu.Lock()
+	defer rt.reloadMu.Unlock()
+	old := rt.mem.Load()
+	if old.prev == nil {
+		return
+	}
+	next := *old
+	next.prev = nil
+	rt.mem.Store(&next)
+}
+
+// Backends returns the current member URLs.
+func (rt *Router) Backends() []string {
+	return append([]string(nil), rt.mem.Load().backends...)
 }
 
 // Handler returns the root handler for an http.Server.
 func (rt *Router) Handler() http.Handler { return rt.mux }
 
-// Close stops the prober and the fill worker. Pending fills are dropped —
-// they are an optimization, and the owners will simply recompute.
+// Close stops the probers and the fill worker. Pending fills are
+// dropped — they are an optimization, and the owners will simply
+// recompute.
 func (rt *Router) Close() {
 	rt.closeOnce.Do(func() {
 		rt.prober.close()
@@ -228,16 +402,16 @@ func routingKey(kind string, body []byte) (string, error) {
 // attempt is the outcome of one proxied call that received an HTTP
 // response (transport failures never produce one).
 type attempt struct {
-	backend int
+	backend string
 	status  int
 	header  http.Header
 	body    []byte
 }
 
-// post forwards payload to backend b's path, buffering the response.
-func (rt *Router) post(ctx context.Context, b int, path string, payload []byte) (*attempt, error) {
+// post forwards payload to a backend's path, buffering the response.
+func (rt *Router) post(ctx context.Context, url, path string, payload []byte) (*attempt, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		rt.cfg.Backends[b]+path, bytes.NewReader(payload))
+		url+path, bytes.NewReader(payload))
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +425,7 @@ func (rt *Router) post(ctx context.Context, b int, path string, payload []byte) 
 	if err != nil {
 		return nil, err
 	}
-	return &attempt{backend: b, status: resp.StatusCode, header: resp.Header, body: body}, nil
+	return &attempt{backend: url, status: resp.StatusCode, header: resp.Header, body: body}, nil
 }
 
 // saturated reports an explicit back-off signal: the backend is up but
@@ -269,7 +443,7 @@ func saturated(status int) bool {
 // the whole ring is saturated, or nil when no backend answered at all.
 // The client's context aborting stops the walk — retrying for a caller
 // that hung up only burns backends.
-func (rt *Router) tryBackends(ctx context.Context, order []int, path string, payload []byte) (served, sat *attempt) {
+func (rt *Router) tryBackends(ctx context.Context, order []string, path string, payload []byte) (served, sat *attempt) {
 	healthyExists := false
 	for _, b := range order {
 		if rt.prober.healthy(b) {
@@ -320,6 +494,17 @@ func (rt *Router) copyProxied(w http.ResponseWriter, endpoint string, att *attem
 // clients already handling backend saturation.
 var errNoBackend = errors.New("no vabufd backend could serve the request; ring is down or unreachable")
 
+// servingTarget is the backend tryBackends will actually hit first: the
+// first healthy backend of the order, or the owner when none is healthy.
+func (rt *Router) servingTarget(order []string) string {
+	for _, b := range order {
+		if rt.prober.healthy(b) {
+			return b
+		}
+	}
+	return order[0]
+}
+
 // single returns the handler proxying one non-batch endpoint.
 func (rt *Router) single(endpoint, kind string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -333,7 +518,19 @@ func (rt *Router) single(endpoint, kind string) http.HandlerFunc {
 			rt.writeJSON(w, endpoint, http.StatusBadRequest, errorBody(err))
 			return
 		}
-		order := rt.ring.successors(fp, len(rt.cfg.Backends))
+		mem := rt.mem.Load()
+		order := mem.ring.successors(fp, len(mem.backends))
+		target := rt.servingTarget(order)
+		// Before the target computes a key it may never have seen —
+		// because a rebuild moved the key to it, or because it is a
+		// failover successor standing in for a down owner — ask the
+		// previous owner's cache synchronously. A hit serves the client
+		// immediately and warms the target via the async fill path.
+		if att := rt.peerLookup(r.Context(), mem, kind, fp, target, body); att != nil {
+			rt.maybeFill(kind, target, body, att)
+			rt.copyProxied(w, endpoint, att)
+			return
+		}
 		served, sat := rt.tryBackends(r.Context(), order, endpoint, body)
 		switch {
 		case served != nil:
@@ -350,9 +547,11 @@ func (rt *Router) single(endpoint, kind string) http.HandlerFunc {
 	}
 }
 
-// maybeFill enqueues a peer cache fill for a failover-served success.
-func (rt *Router) maybeFill(kind string, owner int, reqBody []byte, served *attempt) {
-	if rt.filler == nil || served.status != http.StatusOK {
+// maybeFill enqueues a peer cache fill for a success served by a
+// backend other than `owner` (a failover successor, or the previous
+// owner answering a synchronous lookup).
+func (rt *Router) maybeFill(kind, owner string, reqBody []byte, served *attempt) {
+	if rt.filler == nil || served.status != http.StatusOK || served.backend == owner {
 		return
 	}
 	epoch := served.header.Get("Vabuf-Epoch")
@@ -382,7 +581,8 @@ func (rt *Router) stream(w http.ResponseWriter, r *http.Request) {
 		rt.writeJSON(w, endpoint, http.StatusBadRequest, errorBody(err))
 		return
 	}
-	order := rt.ring.successors(fp, len(rt.cfg.Backends))
+	mem := rt.mem.Load()
+	order := mem.ring.successors(fp, len(mem.backends))
 	healthyExists := false
 	for _, b := range order {
 		if rt.prober.healthy(b) {
@@ -399,7 +599,7 @@ func (rt *Router) stream(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
-			rt.cfg.Backends[b]+endpoint, bytes.NewReader(body))
+			b+endpoint, bytes.NewReader(body))
 		if err != nil {
 			continue
 		}
@@ -451,6 +651,11 @@ func (rt *Router) relayStream(w http.ResponseWriter, endpoint string, resp *http
 	}
 	w.WriteHeader(resp.StatusCode)
 	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers now: the client should see the stream open
+		// as soon as the backend accepts, not after the first event.
+		flusher.Flush()
+	}
 	buf := make([]byte, 32*1024)
 	for {
 		n, err := resp.Body.Read(buf)
@@ -469,15 +674,27 @@ func (rt *Router) relayStream(w http.ResponseWriter, endpoint string, resp *http
 }
 
 // anyBackend proxies a read-only GET (e.g. /v1/benchmarks) to the first
-// healthy backend — they all answer identically.
+// healthy backend — they all answer identically. When no backend has
+// probed healthy yet (cold start: probes may simply not have run, or
+// hysteresis not converged), every backend is tried anyway — the same
+// fallback tryBackends applies, so a freshly booted router doesn't
+// answer 503 for up to a probe interval while the whole fleet is live.
 func (rt *Router) anyBackend(path string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		for b := range rt.cfg.Backends {
-			if !rt.prober.healthy(b) {
+		mem := rt.mem.Load()
+		healthyExists := false
+		for _, b := range mem.backends {
+			if rt.prober.healthy(b) {
+				healthyExists = true
+				break
+			}
+		}
+		for _, b := range mem.backends {
+			if healthyExists && !rt.prober.healthy(b) {
 				continue
 			}
 			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
-				rt.cfg.Backends[b]+path, nil)
+				b+path, nil)
 			if err != nil {
 				continue
 			}
@@ -521,7 +738,49 @@ func (rt *Router) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 		backlog = rt.filler.backlog()
 	}
 	rt.writeJSON(w, "/metrics", http.StatusOK,
-		rt.met.snapshot(rt.cfg.Backends, rt.prober, rt.ring, backlog, rt.prober.anyHealthy()))
+		rt.met.snapshot(rt.mem.Load(), rt.prober, backlog, rt.prober.anyHealthy()))
+}
+
+// adminBackendsRequest is the body of POST /admin/backends.
+type adminBackendsRequest struct {
+	Backends []string `json:"backends"`
+}
+
+// adminBackendsResult answers both admin endpoints.
+type adminBackendsResult struct {
+	Backends     []string `json:"backends"`
+	RingRebuilds int64    `json:"ring_rebuilds"`
+}
+
+func (rt *Router) adminGetBackends(w http.ResponseWriter, _ *http.Request) {
+	rt.writeJSON(w, "/admin/backends", http.StatusOK, adminBackendsResult{
+		Backends:     rt.Backends(),
+		RingRebuilds: rt.met.ringRebuildCount(),
+	})
+}
+
+// adminSetBackends replaces the fleet membership over HTTP — the
+// programmatic twin of SIGHUP + -backends-file.
+func (rt *Router) adminSetBackends(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/admin/backends"
+	body, status, err := rt.readBody(w, r)
+	if err != nil {
+		rt.writeJSON(w, endpoint, status, errorBody(err))
+		return
+	}
+	var req adminBackendsRequest
+	if err := strictUnmarshal(body, &req); err != nil {
+		rt.writeJSON(w, endpoint, http.StatusBadRequest, errorBody(err))
+		return
+	}
+	if err := rt.Reload(req.Backends); err != nil {
+		rt.writeJSON(w, endpoint, http.StatusBadRequest, errorBody(err))
+		return
+	}
+	rt.writeJSON(w, endpoint, http.StatusOK, adminBackendsResult{
+		Backends:     rt.Backends(),
+		RingRebuilds: rt.met.ringRebuildCount(),
+	})
 }
 
 // --- batch scatter-gather ---
@@ -554,8 +813,8 @@ type rawBatchResult struct {
 // routing state plus the normalized payload forwarded in the sub-batch.
 type preparedItem struct {
 	index   int
-	owner   int   // ring owner (order[0]) — the fill target
-	order   []int // full successor order of the item's fingerprint
+	owner   string   // ring owner (order[0]) — the fill target
+	order   []string // full successor order of the item's fingerprint
 	payload json.RawMessage
 }
 
@@ -630,12 +889,13 @@ func (rt *Router) batch(endpoint, kind string) http.HandlerFunc {
 			return
 		}
 
+		mem := rt.mem.Load()
 		out := rawBatchResult{Items: make([]rawBatchItem, len(breq.Items))}
 		// Split: invalid items answer their 400 locally (parity with the
 		// backend's per-item validation); valid ones group under the
 		// first *healthy* backend of their successor order so a dead
 		// owner's items fail over together instead of one by one.
-		groups := make(map[int][]preparedItem)
+		groups := make(map[string][]preparedItem)
 		for i, raw := range breq.Items {
 			out.Items[i].Index = i
 			fp, payload, err := prepareItem(kind, breq.Defaults, raw)
@@ -643,14 +903,8 @@ func (rt *Router) batch(endpoint, kind string) http.HandlerFunc {
 				out.Items[i].Status, out.Items[i].Error = http.StatusBadRequest, err.Error()
 				continue
 			}
-			order := rt.ring.successors(fp, len(rt.cfg.Backends))
-			target := order[0]
-			for _, b := range order {
-				if rt.prober.healthy(b) {
-					target = b
-					break
-				}
-			}
+			order := mem.ring.successors(fp, len(mem.backends))
+			target := rt.servingTarget(order)
 			groups[target] = append(groups[target], preparedItem{
 				index: i, owner: order[0], order: order, payload: payload})
 		}
@@ -658,20 +912,20 @@ func (rt *Router) batch(endpoint, kind string) http.HandlerFunc {
 
 		// Scatter concurrently; each group writes only its own items.
 		type groupOutcome struct {
-			target int
+			target string
 			att    *attempt // HTTP answer (any status), nil on transport exhaustion
 			sat    *attempt
 			items  []preparedItem
 		}
 		outcomes := make(chan groupOutcome, len(groups))
 		for target, items := range groups {
-			go func(target int, items []preparedItem) {
+			go func(target string, items []preparedItem) {
 				payloads := make([]json.RawMessage, len(items))
 				for j, it := range items {
 					payloads[j] = it.payload
 				}
 				sub, _ := json.Marshal(rawBatch{Items: payloads})
-				served, sat := rt.tryBackends(r.Context(), rt.groupOrder(target, items), endpoint, sub)
+				served, sat := rt.tryBackends(r.Context(), rt.groupOrder(mem, target, items), endpoint, sub)
 				outcomes <- groupOutcome{target: target, att: served, sat: sat, items: items}
 			}(target, items)
 		}
@@ -747,9 +1001,9 @@ func (rt *Router) batch(endpoint, kind string) http.HandlerFunc {
 // first, then the remaining backends in the first item's ring order —
 // after the target, cache affinity is already lost, so any order works,
 // but ring order keeps retries deterministic.
-func (rt *Router) groupOrder(target int, items []preparedItem) []int {
-	order := []int{target}
-	seen := map[int]bool{target: true}
+func (rt *Router) groupOrder(mem *membership, target string, items []preparedItem) []string {
+	order := []string{target}
+	seen := map[string]bool{target: true}
 	if len(items) > 0 {
 		for _, b := range items[0].order {
 			if !seen[b] {
@@ -758,7 +1012,7 @@ func (rt *Router) groupOrder(target int, items []preparedItem) []int {
 			}
 		}
 	}
-	for b := range rt.cfg.Backends {
+	for _, b := range mem.backends {
 		if !seen[b] {
 			seen[b] = true
 			order = append(order, b)
@@ -771,11 +1025,22 @@ func (rt *Router) groupOrder(target int, items []preparedItem) []int {
 // original index and enqueues peer fills for failover-served items.
 func (rt *Router) gatherGroup(kind, endpoint string, out *rawBatchResult, att *attempt, items []preparedItem) {
 	var sub rawBatchResult
-	if err := json.Unmarshal(att.body, &sub); err != nil || len(sub.Items) != len(items) {
+	if err := json.Unmarshal(att.body, &sub); err != nil {
+		// Unparsable body: say so — reporting an item count from the
+		// zero-valued struct ("0 items for N sent") would misdiagnose a
+		// corrupt response as a miscounted one.
 		for _, it := range items {
 			out.Items[it.index].Status = http.StatusBadGateway
 			out.Items[it.index].Error = fmt.Sprintf(
-				"backend answered an unparsable sub-batch (%d items for %d sent)",
+				"backend answered an unparsable sub-batch body: %v", err)
+		}
+		return
+	}
+	if len(sub.Items) != len(items) {
+		for _, it := range items {
+			out.Items[it.index].Status = http.StatusBadGateway
+			out.Items[it.index].Error = fmt.Sprintf(
+				"backend answered a mismatched sub-batch: %d items for %d sent",
 				len(sub.Items), len(items))
 		}
 		return
@@ -803,16 +1068,17 @@ func (rt *Router) gatherGroup(kind, endpoint string, out *rawBatchResult, att *a
 
 // ownersOf reports the distinct ring owners of a key set — test helper
 // for asserting scatter grouping.
-func (rt *Router) ownersOf(keys []string) []int {
-	seen := map[int]bool{}
-	var out []int
+func (rt *Router) ownersOf(keys []string) []string {
+	mem := rt.mem.Load()
+	seen := map[string]bool{}
+	var out []string
 	for _, k := range keys {
-		o := rt.ring.owner(k)
+		o := mem.ring.owner(k)
 		if !seen[o] {
 			seen[o] = true
 			out = append(out, o)
 		}
 	}
-	sort.Ints(out)
+	sort.Strings(out)
 	return out
 }

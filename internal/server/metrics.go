@@ -99,6 +99,11 @@ type metrics struct {
 	// malformed fill).
 	peerFillsAccepted int64
 	peerFillsRejected int64
+	// peerLookups counts /v1/cache/lookup probes: hits served a cached
+	// result to a peer router, misses cover 404s plus refused lookups
+	// (epoch mismatch or malformed request).
+	peerLookupHits   int64
+	peerLookupMisses int64
 }
 
 func newMetrics() *metrics {
@@ -139,6 +144,17 @@ func (m *metrics) recordPeerFill(accepted bool) {
 		m.peerFillsAccepted++
 	} else {
 		m.peerFillsRejected++
+	}
+	m.mu.Unlock()
+}
+
+// recordPeerLookup counts one /v1/cache/lookup outcome.
+func (m *metrics) recordPeerLookup(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.peerLookupHits++
+	} else {
+		m.peerLookupMisses++
 	}
 	m.mu.Unlock()
 }
@@ -282,6 +298,10 @@ func (m *metrics) snapshot(pool *workerPool, trees, models, results *lruCache,
 		"accepted": m.peerFillsAccepted,
 		"rejected": m.peerFillsRejected,
 	}
+	peerLookups := map[string]any{
+		"hits":   m.peerLookupHits,
+		"misses": m.peerLookupMisses,
+	}
 	snap := map[string]any{
 		"restored_trees":   m.snap.restoredTrees,
 		"restored_models":  m.snap.restoredModels,
@@ -327,6 +347,9 @@ func (m *metrics) snapshot(pool *workerPool, trees, models, results *lruCache,
 		// after serving a failover miss, accepted into the result cache
 		// or refused (epoch mismatch / malformed).
 		"peer_fills": peerFills,
+		// peer_lookups tracks /v1/cache/lookup: synchronous cache probes
+		// from a router rescuing a moved key's result, hits vs misses.
+		"peer_lookups": peerLookups,
 		// depth/capacity/rejected keep their pre-priority-queue meaning
 		// (existing dashboards); "classes" splits them per class with
 		// queue-wait latency histograms.

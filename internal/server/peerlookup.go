@@ -1,0 +1,94 @@
+package server
+
+// POST /v1/cache/lookup — the synchronous peer-cache read endpoint.
+// Where /v1/cache/fill lets a router *push* a result into a recovered
+// owner's cache, this endpoint lets a router *pull* one out: when a ring
+// rebuild or a failover moves a key to a backend that has never seen
+// it, the router first asks the key's previous owner whether its result
+// cache still holds the answer. A hit means the client is served the
+// cached body immediately and the new owner is warmed through the
+// normal async fill; a miss is a plain 404 and costs one LRU probe.
+//
+// Like the fill, the lookup carries the *request* (this instance
+// normalizes it and computes its own fingerprint — peer-supplied cache
+// keys are never trusted) plus the epoch the answer must belong to. An
+// epoch mismatch is refused with 409: a result from another library
+// generation must never be served as current. Unlike the fill, the
+// lookup is allowed while draining — it is read-only and racing the
+// final snapshot write is harmless — which is exactly what lets a
+// router rescue a draining instance's cache before it goes away.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// CacheLookupRequest is the body of POST /v1/cache/lookup.
+type CacheLookupRequest struct {
+	// Kind is "insert" or "yield" — the result space to look in.
+	Kind string `json:"kind"`
+	// Epoch is the cache epoch the caller needs the answer to belong to
+	// (typically the epoch of the backend that would otherwise compute).
+	Epoch string `json:"epoch,omitempty"`
+	// Request is the original client request, verbatim; the receiving
+	// instance normalizes it and computes its own fingerprint.
+	Request json.RawMessage `json:"request"`
+}
+
+// cacheLookup handles POST /v1/cache/lookup. A hit answers 200 with the
+// cached result body itself — byte-compatible with what this instance
+// would have answered on /v1/insert or /v1/yield — so the router can
+// relay it to the client verbatim. A miss answers 404.
+func (s *Server) cacheLookup(r *http.Request) (int, any) {
+	var look CacheLookupRequest
+	if st, err := decodeJSON(r, s.cfg.MaxRequestBytes, &look); err != nil {
+		return st, errBody(err)
+	}
+	if look.Epoch != s.cfg.Epoch {
+		s.met.recordPeerLookup(false)
+		return http.StatusConflict, errBody(fmt.Errorf(
+			"cache lookup epoch %q does not match instance epoch %q",
+			look.Epoch, s.cfg.Epoch))
+	}
+	fp, err := s.lookupFingerprint(&look)
+	if err != nil {
+		s.met.recordPeerLookup(false)
+		return http.StatusBadRequest, errBody(err)
+	}
+	body, ok := s.resultGet(fp)
+	if !ok {
+		s.met.recordPeerLookup(false)
+		return http.StatusNotFound, errBody(fmt.Errorf(
+			"no cached result for fingerprint %s", fp))
+	}
+	s.met.recordPeerLookup(true)
+	return http.StatusOK, body
+}
+
+// lookupFingerprint normalizes the embedded request and returns the
+// fingerprint this instance files its result under.
+func (s *Server) lookupFingerprint(look *CacheLookupRequest) (string, error) {
+	switch look.Kind {
+	case "insert":
+		var req InsertRequest
+		if err := json.Unmarshal(look.Request, &req); err != nil {
+			return "", fmt.Errorf("decoding lookup request: %w", err)
+		}
+		if err := req.Normalize(); err != nil {
+			return "", fmt.Errorf("normalizing lookup request: %w", err)
+		}
+		return req.Fingerprint(s.cfg.Epoch), nil
+	case "yield":
+		var req YieldRequest
+		if err := json.Unmarshal(look.Request, &req); err != nil {
+			return "", fmt.Errorf("decoding lookup request: %w", err)
+		}
+		if err := req.Normalize(); err != nil {
+			return "", fmt.Errorf("normalizing lookup request: %w", err)
+		}
+		return req.Fingerprint(s.cfg.Epoch), nil
+	default:
+		return "", fmt.Errorf("unknown lookup kind %q (want insert or yield)", look.Kind)
+	}
+}

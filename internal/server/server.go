@@ -190,6 +190,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/yield:stream", s.yieldStream)
 	s.mux.HandleFunc("POST /v1/yield:batch", s.instrument("/v1/yield:batch", s.yieldBatch))
 	s.mux.HandleFunc("POST /v1/cache/fill", s.instrument("/v1/cache/fill", s.cacheFill))
+	s.mux.HandleFunc("POST /v1/cache/lookup", s.instrument("/v1/cache/lookup", s.cacheLookup))
 	s.mux.HandleFunc("GET /v1/benchmarks", s.instrument("/v1/benchmarks", s.benchmarks))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.healthz))
 	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.readyz))

@@ -4,6 +4,13 @@
 # end to end: a repeated insert through the router must land on the same
 # backend twice and answer the second call from that backend's warm
 # result cache (byte-identical response, result-cache hit counted).
+#
+# A second router then proves dynamic membership: booted from a
+# -backends-file naming 2 of the 3 backends, warmed with a spread of
+# keys, grown to 3 via SIGHUP — the ring_rebuilds counter must bump,
+# every warmed key must still answer 200, and at least one moved key
+# must be served from its previous owner's cache via the synchronous
+# peer lookup (lookup-hit counter > 0) instead of being recomputed.
 # Used as a CI step; exits non-zero on any failure.
 set -eu
 cd "$(dirname "$0")/.."
@@ -107,3 +114,80 @@ curl -fsS "http://$ROUTER/metrics" | grep -q '"state": "ready"' || {
 }
 
 echo "fleet: ok — repeat served by $I1 from its warm cache ($HITS hit(s)) via the router"
+
+# --- Resize smoke: dynamic membership + synchronous peer lookup ---
+
+# A second router starts from a backends *file* naming only b1 and b2.
+echo "http://$ADDR1" > "$TMP/backends.txt"
+echo "http://$ADDR2" >> "$TMP/backends.txt"
+"$TMP/vabufr" -addr 127.0.0.1:0 -backends-file "$TMP/backends.txt" \
+  -probe-every 200ms -fail-after 1 -recover-after 1 >"$TMP/r2.log" 2>&1 &
+RPID2=$!
+PIDS="$PIDS $RPID2"
+ROUTER2=""
+for _ in $(seq 1 100); do
+  ROUTER2=$(sed -n 's/.*vabufr listening on \([^ ]*\).*/\1/p' "$TMP/r2.log" | head -1)
+  [ -n "$ROUTER2" ] && break
+  sleep 0.1
+done
+if [ -z "$ROUTER2" ]; then
+  echo "fleet: resize vabufr never logged its address" >&2
+  cat "$TMP/r2.log" >&2
+  exit 1
+fi
+for _ in $(seq 1 100); do
+  curl -fsS "http://$ROUTER2/readyz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "http://$ROUTER2/readyz" >/dev/null
+
+# Warm a spread of distinct keys (pbar is fingerprinted, so each value
+# is its own partition key; core requires pbar in [0.5, 1)) across the
+# 2-backend ring.
+PBARS="0.51 0.52 0.53 0.54 0.55 0.56 0.57 0.58 0.59 0.60 0.61 0.62 0.63 0.64 0.65 0.66 0.67 0.68 0.69 0.70"
+for P in $PBARS; do
+  curl -fsS -o /dev/null -H 'Content-Type: application/json' \
+    -d "{\"bench\":\"p1\",\"algo\":\"nom\",\"pbar\":$P}" "http://$ROUTER2/v1/insert"
+done
+
+# Grow the fleet: append b3 to the file and SIGHUP the router.
+echo "http://$ADDR3" >> "$TMP/backends.txt"
+kill -HUP "$RPID2"
+REBUILDS=""
+for _ in $(seq 1 100); do
+  REBUILDS=$(curl -fsS "http://$ROUTER2/metrics" \
+    | sed -n 's/.*"rebuilds": \([0-9][0-9]*\).*/\1/p' | head -1)
+  [ "${REBUILDS:-0}" -ge 2 ] && break
+  sleep 0.1
+done
+if [ "${REBUILDS:-0}" -lt 2 ]; then
+  echo "fleet: ring_rebuilds = '${REBUILDS:-?}' after SIGHUP, want >= 2" >&2
+  cat "$TMP/r2.log" >&2
+  exit 1
+fi
+
+# Wait for all 3 members to probe healthy so moved keys route to b3.
+for _ in $(seq 1 100); do
+  UP=$(curl -fsS "http://$ROUTER2/metrics" | grep -c '"healthy": true' || true)
+  [ "${UP:-0}" -ge 3 ] && break
+  sleep 0.1
+done
+
+# Every warmed key must still answer 200 across the resize; moved keys
+# are rescued from their previous owner's cache via the peer lookup.
+for P in $PBARS; do
+  curl -fsS -o /dev/null -H 'Content-Type: application/json' \
+    -d "{\"bench\":\"p1\",\"algo\":\"nom\",\"pbar\":$P}" "http://$ROUTER2/v1/insert" || {
+    echo "fleet: key pbar=$P failed after the resize" >&2
+    exit 1
+  }
+done
+LHITS=$(curl -fsS "http://$ROUTER2/metrics" \
+  | sed -n '/"lookups": {/,/}/p' | sed -n 's/.*"hits": \([0-9][0-9]*\).*/\1/p' | head -1)
+if [ -z "$LHITS" ] || [ "$LHITS" -lt 1 ]; then
+  echo "fleet: lookup hits = '${LHITS:-?}' after the resize, want >= 1" >&2
+  curl -fsS "http://$ROUTER2/metrics" >&2 || true
+  exit 1
+fi
+
+echo "fleet: ok — resize 2->3 rebuilt the ring ($REBUILDS rebuilds), all keys served, $LHITS moved key(s) rescued via peer lookup"
