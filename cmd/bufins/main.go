@@ -157,6 +157,9 @@ func run() error {
 			return err
 		}
 		pol := retryPolicy{retries: *retries, base: *retryBase, max: *retryMax}
+		if *timeout > 0 {
+			pol.deadline = time.Now().Add(*timeout)
+		}
 		return runBatch(*batchFile, servers, pol)
 	}
 
@@ -206,6 +209,9 @@ func run() error {
 			return err
 		}
 		pol := retryPolicy{retries: *retries, base: *retryBase, max: *retryMax}
+		if *timeout > 0 {
+			pol.deadline = time.Now().Add(*timeout)
+		}
 		return runStream(req, servers, pol, *jsonOut)
 	}
 
@@ -385,11 +391,25 @@ func (s *serverList) rotate() bool {
 }
 
 // retryPolicy is the batch-mode retry schedule: capped exponential
-// backoff with jitter, honoring the server's Retry-After hint.
+// backoff with jitter, honoring the server's Retry-After hint. With a
+// deadline set (-timeout), the whole retry loop shares that one wall
+// budget: each attempt advertises the remaining budget to the server
+// via the Vabuf-Deadline-Ms header (so a doomed request is refused
+// instead of queued), and the loop stops retrying the moment the next
+// backoff would overrun it.
 type retryPolicy struct {
-	retries int
-	base    time.Duration
-	max     time.Duration
+	retries  int
+	base     time.Duration
+	max      time.Duration
+	deadline time.Time // zero = no overall budget
+}
+
+// remaining returns the wall budget left, and whether one exists.
+func (p retryPolicy) remaining() (time.Duration, bool) {
+	if p.deadline.IsZero() {
+		return 0, false
+	}
+	return time.Until(p.deadline), true
 }
 
 // delay computes the sleep before retry attempt (1-based). A Retry-After
@@ -432,7 +452,20 @@ func retryableStatus(code int) bool {
 func postWithRetry(servers *serverList, path string, payload []byte, pol retryPolicy) (*http.Response, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		resp, err := http.Post(servers.url(path), "application/json", bytes.NewReader(payload))
+		req, err := http.NewRequest(http.MethodPost, servers.url(path), bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if rem, ok := pol.remaining(); ok {
+			if rem <= 0 {
+				return nil, fmt.Errorf("overall -timeout budget spent after %d attempts", attempt)
+			}
+			// Advertise the remaining budget so every hop downstream —
+			// router, queue, DP — can refuse work it cannot finish in time.
+			req.Header.Set(server.DeadlineHeader, server.FormatDeadline(rem))
+		}
+		resp, err := http.DefaultClient.Do(req)
 		if err == nil && !retryableStatus(resp.StatusCode) {
 			return resp, nil
 		}
@@ -461,6 +494,14 @@ func postWithRetry(servers *serverList, path string, payload []byte, pol retryPo
 			return nil, lastErr
 		}
 		d := pol.delay(attempt+1, retryAfter)
+		if rem, ok := pol.remaining(); ok && d >= rem {
+			// Sleeping through the rest of the budget guarantees the next
+			// attempt is doomed; stop with the truth instead.
+			if lastErr != nil {
+				return nil, fmt.Errorf("-timeout budget spent after %d attempts: %w", attempt+1, lastErr)
+			}
+			return nil, fmt.Errorf("-timeout budget spent after %d attempts (server busy)", attempt+1)
+		}
 		if rotated {
 			fmt.Fprintf(os.Stderr, "bufins: server unavailable (attempt %d/%d), rotating to %s in %s\n",
 				attempt+1, pol.retries, servers.current(), d.Round(time.Millisecond))

@@ -45,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"vabuf/internal/chaos"
 	"vabuf/internal/server"
 )
 
@@ -77,8 +78,18 @@ func main() {
 			"instance id surfaced in /metrics, /readyz and the Vabuf-Instance header (empty = hostname:port, resolved after listen)")
 		epoch = flag.String("epoch", "",
 			"cache epoch mixed into result fingerprints; bump it (fleet-wide) to invalidate every cached result after a library or model change")
+		chaosSpec = flag.String("chaos", "",
+			"fault-injection spec for chaos testing, e.g. 'seed=7,error=0.1,latency=0.05:150ms' (see internal/chaos; empty disables)")
 	)
 	flag.Parse()
+
+	injector, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		log.Fatalf("vabufd: -chaos: %v", err)
+	}
+	if injector != nil {
+		log.Printf("vabufd: CHAOS ENABLED: %s", *chaosSpec)
+	}
 
 	resultCacheSize := *resultCache
 	if resultCacheSize == 0 {
@@ -157,7 +168,7 @@ func main() {
 		}
 	}
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           injector.Middleware(srv.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

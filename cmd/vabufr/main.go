@@ -44,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"vabuf/internal/chaos"
 	"vabuf/internal/router"
 )
 
@@ -107,8 +108,30 @@ func main() {
 			"how long after a ring rebuild moved keys are still looked up at their previous owner")
 		admin = flag.Bool("admin", false,
 			"expose GET/POST /admin/backends for runtime membership changes")
+		retryBudget = flag.Float64("retry-budget", 0,
+			"per-backend retry-budget ratio: tokens earned per first attempt; each manufactured request (failover, hedge, lookup, fill) pays one token (0 = 0.1, negative disables)")
+		retryBurst = flag.Int("retry-burst", 0,
+			"retry token-bucket cap and initial balance per backend (0 = 10)")
+		hedgeAfter = flag.Duration("hedge-after", 0,
+			"hedge idempotent single requests after max(this, observed p95) with a budgeted duplicate to the next backend (0 disables)")
+		breakerFailures = flag.Int("breaker-failures", 0,
+			"consecutive request failures that open a backend's circuit breaker (0 = 5, negative disables)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 0,
+			"open-breaker duration between half-open probe requests (0 = 5s)")
+		chaosSpec = flag.String("chaos", "",
+			"client-side fault-injection spec for chaos testing, e.g. 'seed=7,reset=0.05' (see internal/chaos; empty disables)")
 	)
 	flag.Parse()
+
+	injector, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		log.Fatalf("vabufr: -chaos: %v", err)
+	}
+	var client *http.Client
+	if injector != nil {
+		log.Printf("vabufr: CHAOS ENABLED: %s", *chaosSpec)
+		client = &http.Client{Transport: injector.Transport(nil)}
+	}
 
 	if (*backends == "") == (*backendsFile == "") {
 		log.Fatal("vabufr: exactly one of -backends or -backends-file is required")
@@ -139,7 +162,13 @@ func main() {
 		FillWait:        *fillWait,
 		LookupTimeout:   *lookupTimeout,
 		LookupWindow:    *lookupWindow,
+		RetryBudget:     *retryBudget,
+		RetryBurst:      *retryBurst,
+		HedgeAfter:      *hedgeAfter,
+		BreakerFailures: *breakerFailures,
+		BreakerCooldown: *breakerCooldown,
 		EnableAdmin:     *admin,
+		Client:          client,
 	})
 	if err != nil {
 		log.Fatalf("vabufr: %v", err)

@@ -1,0 +1,153 @@
+package router
+
+// Per-backend circuit breakers, layered *under* the prober. The prober
+// answers "is this process alive" on a multi-second probe cadence; the
+// breaker answers "is this backend currently failing the requests it
+// accepts" on a per-request cadence. A backend that connects fine but
+// answers 500s (a wedged cache, a chaos-injected fault) keeps its
+// /readyz green, so the prober never benches it — the breaker does:
+// after threshold consecutive request failures it opens and the router
+// routes around it, and after the cooldown one half-open probe request
+// is let through to test the water. A success closes the breaker; the
+// prober flipping the backend healthy resets it too (a passed /readyz
+// after a down period is equivalent evidence of recovery).
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one backend's breaker.
+type breakerState struct {
+	fails     int       // consecutive request failures while closed
+	open      bool      // tripped: route around this backend
+	openUntil time.Time // while open: when the next half-open probe may go
+}
+
+// breakerSet holds the breakers, keyed by backend URL. A nil
+// *breakerSet (disabled by config) allows everything.
+type breakerSet struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that trip the breaker
+	cooldown  time.Duration // open duration between half-open probes
+	states    map[string]*breakerState
+	opens     int64 // lifetime count of trips (metrics)
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
+	return &breakerSet{
+		threshold: threshold,
+		cooldown:  cooldown,
+		states:    make(map[string]*breakerState),
+	}
+}
+
+// state returns the breaker of a backend, creating it closed. Callers
+// must hold s.mu.
+func (s *breakerSet) state(url string) *breakerState {
+	st := s.states[url]
+	if st == nil {
+		st = &breakerState{}
+		s.states[url] = st
+	}
+	return st
+}
+
+// isOpen reports whether the breaker currently routes traffic around
+// url. Past openUntil it answers false — the half-open window — but the
+// actual probe slot is claimed via allow.
+func (s *breakerSet) isOpen(url string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.states[url]
+	return st != nil && st.open && time.Now().Before(st.openUntil)
+}
+
+// allow claims the right to send one request to url: always true while
+// closed; while open, true only for the single half-open probe per
+// cooldown (claiming it pushes openUntil forward so concurrent requests
+// don't all probe at once).
+func (s *breakerSet) allow(url string) bool {
+	if s == nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state(url)
+	if !st.open {
+		return true
+	}
+	now := time.Now()
+	if now.Before(st.openUntil) {
+		return false
+	}
+	st.openUntil = now.Add(s.cooldown)
+	return true
+}
+
+// success records a request url answered conclusively; it closes the
+// breaker and clears the failure streak.
+func (s *breakerSet) success(url string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	st := s.state(url)
+	st.fails = 0
+	st.open = false
+	s.mu.Unlock()
+}
+
+// failure records a request url failed (transport error or retryable
+// 5xx); at threshold consecutive failures the breaker trips open.
+func (s *breakerSet) failure(url string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	st := s.state(url)
+	st.fails++
+	if !st.open && st.fails >= s.threshold {
+		st.open = true
+		st.openUntil = time.Now().Add(s.cooldown)
+		s.opens++
+	} else if st.open {
+		// A failed half-open probe re-arms the cooldown.
+		st.openUntil = time.Now().Add(s.cooldown)
+	}
+	s.mu.Unlock()
+}
+
+// reset closes a backend's breaker (probe-driven recovery).
+func (s *breakerSet) reset(url string) {
+	s.success(url)
+}
+
+// retire forgets a backend that left the ring.
+func (s *breakerSet) retire(url string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	delete(s.states, url)
+	s.mu.Unlock()
+}
+
+// stats reports (currently open breakers, lifetime trips) for /metrics.
+func (s *breakerSet) stats() (openNow int, opens int64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	for _, st := range s.states {
+		if st.open && now.Before(st.openUntil) {
+			openNow++
+		}
+	}
+	return openNow, s.opens
+}

@@ -53,6 +53,7 @@ type filler struct {
 	prober *prober
 	client *http.Client
 	met    *rmetrics
+	budget *retryBudget  // fills are manufactured traffic; they pay too
 	wait   time.Duration // per-job recovery wait (deadline at enqueue)
 	poll   time.Duration // how often to re-sweep owners between wakes
 	logf   func(format string, args ...any)
@@ -68,11 +69,13 @@ type filler struct {
 }
 
 func newFiller(prober *prober, client *http.Client, met *rmetrics,
-	queue int, wait, poll time.Duration, logf func(string, ...any)) *filler {
+	budget *retryBudget, queue int, wait, poll time.Duration,
+	logf func(string, ...any)) *filler {
 	f := &filler{
 		prober:  prober,
 		client:  client,
 		met:     met,
+		budget:  budget,
 		wait:    wait,
 		poll:    poll,
 		logf:    logf,
@@ -196,6 +199,14 @@ func (f *filler) sweep() {
 
 // deliver posts one fill to its (healthy) owner.
 func (f *filler) deliver(job fillJob) {
+	// A fill is pure re-warming; when the owner's budget is dry it just
+	// recomputes on the next repeat instead.
+	if !f.budget.spend(job.owner) {
+		f.met.recordBudgetExhausted()
+		f.met.recordFillOutcome(job.owner, false)
+		return
+	}
+	f.met.recordAttempt(job.owner)
 	payload, err := json.Marshal(server.CacheFillRequest{
 		Kind:    job.kind,
 		Epoch:   job.epoch,

@@ -64,6 +64,12 @@ func (rt *Router) peerLookup(ctx context.Context, mem *membership, kind, fp, tar
 	if cand == "" || cand == target || !rt.prober.reachable(cand) {
 		return nil
 	}
+	// A peer lookup is manufactured traffic against the candidate; when
+	// its budget is dry the target just computes cold.
+	if !rt.spendRetry(cand) {
+		return nil
+	}
+	rt.met.recordAttempt(cand)
 	payload, err := json.Marshal(server.CacheLookupRequest{
 		Kind: kind,
 		// The lookup carries the *target's* epoch: the answer must be

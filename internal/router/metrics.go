@@ -1,6 +1,7 @@
 package router
 
 import (
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -13,6 +14,12 @@ type backendCounters struct {
 	fillsSent  int64 // peer cache fills delivered to this backend
 	fillErrors int64 // fills that failed (post error, non-200, or expiry)
 	lookupHits int64 // synchronous peer lookups this backend answered
+	// attempts counts every outbound request the router sent this
+	// backend — first tries, failover hops, hedges, peer lookups, peer
+	// fills alike. Summed across backends it is the fleet's true
+	// amplification numerator: injected faults that never reach a
+	// backend's own mux still show up here.
+	attempts int64
 }
 
 // rmetrics is the registry behind the router's GET /metrics. Counters
@@ -40,14 +47,22 @@ type rmetrics struct {
 	lookupHits   int64
 	lookupMisses int64
 	lookupErrors int64
+	// Resilience counters: hedged duplicates sent / won, manufactured
+	// requests denied by a dry retry budget, and requests answered 504
+	// locally because their propagated deadline was already spent.
+	hedges           int64
+	hedgeWins        int64
+	budgetExhausted  int64
+	deadlineRejected map[string]int64 // endpoint -> local 504s
 }
 
 func newRMetrics() *rmetrics {
 	return &rmetrics{
-		start:    time.Now(),
-		requests: make(map[string]map[string]int64),
-		backends: make(map[string]*backendCounters),
-		fanout:   make(map[int]int64),
+		start:            time.Now(),
+		requests:         make(map[string]map[string]int64),
+		backends:         make(map[string]*backendCounters),
+		fanout:           make(map[int]int64),
+		deadlineRejected: make(map[string]int64),
 	}
 }
 
@@ -83,6 +98,43 @@ func (m *rmetrics) recordProxied(url string) {
 func (m *rmetrics) recordFailover(owner string) {
 	m.mu.Lock()
 	m.of(owner).failovers++
+	m.mu.Unlock()
+}
+
+// recordAttempt counts one outbound request to a backend (any kind).
+func (m *rmetrics) recordAttempt(url string) {
+	m.mu.Lock()
+	m.of(url).attempts++
+	m.mu.Unlock()
+}
+
+// recordHedge counts one hedged duplicate sent.
+func (m *rmetrics) recordHedge() {
+	m.mu.Lock()
+	m.hedges++
+	m.mu.Unlock()
+}
+
+// recordHedgeWin counts one hedged duplicate that answered first.
+func (m *rmetrics) recordHedgeWin() {
+	m.mu.Lock()
+	m.hedgeWins++
+	m.mu.Unlock()
+}
+
+// recordBudgetExhausted counts one manufactured request the retry
+// budget refused to send.
+func (m *rmetrics) recordBudgetExhausted() {
+	m.mu.Lock()
+	m.budgetExhausted++
+	m.mu.Unlock()
+}
+
+// recordDeadlineRejected counts one request answered 504 locally
+// because its propagated deadline was already spent.
+func (m *rmetrics) recordDeadlineRejected(endpoint string) {
+	m.mu.Lock()
+	m.deadlineRejected[endpoint]++
 	m.mu.Unlock()
 }
 
@@ -182,7 +234,7 @@ func (m *rmetrics) proxiedOf(url string) int64 {
 // membership. Probe state is merged per backend so one document answers
 // "who is down, who serves what, where do the fills go".
 func (m *rmetrics) snapshot(mem *membership, prober *prober,
-	fillBacklog int, ready bool) map[string]any {
+	fillBacklog int, ready bool, breakerOpen int, breakerOpens int64) map[string]any {
 	m.mu.Lock()
 	requests := make(map[string]map[string]int64, len(m.requests))
 	for ep, byStatus := range m.requests {
@@ -203,6 +255,17 @@ func (m *rmetrics) snapshot(mem *membership, prober *prober,
 	rebuilds := m.ringRebuilds
 	queued, dropped := m.fillQueued, m.fillDropped
 	lhits, lmisses, lerrors := m.lookupHits, m.lookupMisses, m.lookupErrors
+	hedges, hedgeWins, budgetDry := m.hedges, m.hedgeWins, m.budgetExhausted
+	var attemptsTotal int64
+	for _, c := range m.backends {
+		attemptsTotal += c.attempts
+	}
+	dlRejected := make(map[string]int64, len(m.deadlineRejected))
+	var dlTotal int64
+	for ep, n := range m.deadlineRejected {
+		dlRejected[ep] = n
+		dlTotal += n
+	}
 	m.mu.Unlock()
 
 	bs := make([]map[string]any, len(mem.backends))
@@ -215,6 +278,7 @@ func (m *rmetrics) snapshot(mem *membership, prober *prober,
 		doc["fills_sent"] = c.fillsSent
 		doc["fill_errors"] = c.fillErrors
 		doc["lookup_hits"] = c.lookupHits
+		doc["attempts"] = c.attempts
 		bs[i] = doc
 	}
 	state := "ready"
@@ -224,6 +288,7 @@ func (m *rmetrics) snapshot(mem *membership, prober *prober,
 	return map[string]any{
 		"uptime_seconds": time.Since(m.start).Seconds(),
 		"state":          state,
+		"goroutines":     runtime.NumGoroutine(),
 		"requests":       requests,
 		"backends":       bs,
 		"ring": map[string]any{
@@ -246,6 +311,22 @@ func (m *rmetrics) snapshot(mem *membership, prober *prober,
 			"hits":   lhits,
 			"misses": lmisses,
 			"errors": lerrors,
+		},
+		// resilience: the retry-storm dials. attempts_total over the sum
+		// of client requests is the fleet's amplification factor.
+		"resilience": map[string]any{
+			"hedges":                 hedges,
+			"hedge_wins":             hedgeWins,
+			"retry_budget_exhausted": budgetDry,
+			"breaker_open":           breakerOpen,
+			"breaker_opens":          breakerOpens,
+			"attempts_total":         attemptsTotal,
+		},
+		// deadline: requests answered 504 by the router itself because
+		// their propagated budget was already spent on arrival.
+		"deadline": map[string]any{
+			"rejected":       dlRejected,
+			"rejected_total": dlTotal,
 		},
 	}
 }

@@ -52,6 +52,31 @@ type Config struct {
 	// The window is a transition aid: within it the async fills warm
 	// the new owners, after it moved keys route normally.
 	LookupWindow time.Duration
+	// RetryBudget is the per-backend retry token ratio: each first
+	// attempt routed to a backend earns it this fraction of a token, and
+	// every manufactured request sent to it (failover hop, hedge, peer
+	// lookup, peer fill) pays one whole token. 0 selects 0.1 (~10% extra
+	// traffic at steady state); negative disables budgeting.
+	RetryBudget float64
+	// RetryBurst is the token-bucket cap and initial balance (<=0
+	// selects 10) — the headroom for failover bursts before any credit
+	// has accrued.
+	RetryBurst int
+	// HedgeAfter enables hedged sends on the idempotent single-request
+	// endpoints (insert, yield): when the first attempt has produced no
+	// answer within max(HedgeAfter, observed p95 latency), a budgeted
+	// duplicate goes to the next usable backend and the first conclusive
+	// answer wins. <=0 (the default) disables hedging.
+	HedgeAfter time.Duration
+	// BreakerFailures is the consecutive-failure threshold of the
+	// per-backend circuit breaker (transport errors and retryable 5xx
+	// count; saturation does not). 0 selects 5; negative disables the
+	// breakers.
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker routes around its
+	// backend before letting one half-open probe request through
+	// (<=0 selects 5s).
+	BreakerCooldown time.Duration
 	// EnableAdmin mounts the membership admin endpoints (GET/POST
 	// /admin/backends). Off by default: resizing the fleet over HTTP is
 	// opt-in via the vabufr -admin flag.
@@ -79,6 +104,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LookupWindow <= 0 {
 		c.LookupWindow = time.Minute
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 0.1
+	}
+	if c.RetryBurst <= 0 {
+		c.RetryBurst = 10
+	}
+	if c.BreakerFailures == 0 {
+		c.BreakerFailures = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
@@ -121,6 +158,12 @@ type Router struct {
 	filler *filler // nil when peer fill is disabled
 	met    *rmetrics
 	mux    *http.ServeMux
+	// budget bounds manufactured traffic (nil = disabled, unlimited);
+	// breaker benches backends failing their accepted requests (nil =
+	// disabled); lat feeds the adaptive hedge trigger.
+	budget  *retryBudget
+	breaker *breakerSet
+	lat     latencyTracker
 
 	reloadMu  sync.Mutex // serializes Reload against itself
 	closeOnce sync.Once
@@ -143,6 +186,12 @@ func New(cfg Config) (*Router, error) {
 		met: newRMetrics(),
 		mux: http.NewServeMux(),
 	}
+	if cfg.RetryBudget > 0 {
+		rt.budget = newRetryBudget(cfg.RetryBudget, cfg.RetryBurst)
+	}
+	if cfg.BreakerFailures > 0 {
+		rt.breaker = newBreakerSet(cfg.BreakerFailures, cfg.BreakerCooldown)
+	}
 	rt.mem.Store(&membership{backends: backends, member: memberSet(backends), ring: ring})
 	rt.met.recordRingRebuild()
 	rt.prober = newProber(probeConfig{
@@ -152,6 +201,10 @@ func New(cfg Config) (*Router, error) {
 		recoverAfter: cfg.RecoverAfter,
 	}, cfg.Client, func(backend string, healthy bool, reason string) {
 		if healthy {
+			// A recovered probe is recovery evidence for the breaker too:
+			// without this a backend could pass /readyz yet sit benched
+			// for a full cooldown after its failure streak.
+			rt.breaker.reset(backend)
 			cfg.Logf("vabufr: backend %s recovered", backend)
 		} else {
 			cfg.Logf("vabufr: backend %s marked down (%s)", backend, reason)
@@ -168,7 +221,7 @@ func New(cfg Config) (*Router, error) {
 		if poll > 500*time.Millisecond {
 			poll = 500 * time.Millisecond
 		}
-		rt.filler = newFiller(rt.prober, cfg.Client, rt.met,
+		rt.filler = newFiller(rt.prober, cfg.Client, rt.met, rt.budget,
 			cfg.FillQueue, cfg.FillWait, poll, cfg.Logf)
 	}
 
@@ -282,6 +335,8 @@ func (rt *Router) Reload(backends []string) error {
 			if rt.filler != nil {
 				rt.filler.retire(url)
 			}
+			rt.budget.retire(url)
+			rt.breaker.retire(url)
 			removed++
 		}
 	}
@@ -409,6 +464,9 @@ type attempt struct {
 }
 
 // post forwards payload to a backend's path, buffering the response.
+// The remaining deadline budget of ctx (when it has one) rides along in
+// Vabuf-Deadline-Ms — stamped at send time, so queue and transit time
+// already spent is naturally subtracted at every hop.
 func (rt *Router) post(ctx context.Context, url, path string, payload []byte) (*attempt, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		url+path, bytes.NewReader(payload))
@@ -416,6 +474,7 @@ func (rt *Router) post(ctx context.Context, url, path string, payload []byte) (*
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	server.SetDeadlineHeader(req.Header, ctx)
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
 		return nil, err
@@ -428,6 +487,73 @@ func (rt *Router) post(ctx context.Context, url, path string, payload []byte) (*
 	return &attempt{backend: url, status: resp.StatusCode, header: resp.Header, body: body}, nil
 }
 
+// statusClientClosed mirrors the backends' non-standard 499 for requests
+// whose client went away while the router was serving them.
+const statusClientClosed = 499
+
+// errDeadlineSpent answers requests whose propagated deadline budget is
+// already gone; errDeadlineExpired answers those whose budget ran out
+// while the router was still trying backends.
+var (
+	errDeadlineSpent   = errors.New("request deadline already spent before routing")
+	errDeadlineExpired = errors.New("request deadline expired while contacting backends")
+)
+
+// deadlineContext derives a handler's working context from the
+// propagated Vabuf-Deadline-Ms header. A spent budget is answered 504
+// here (ok=false — the handler must return); otherwise the returned
+// context carries the remaining budget as its deadline and every
+// outbound hop re-stamps what is left.
+func (rt *Router) deadlineContext(endpoint string, w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	remaining, has := server.DeadlineFromHeader(r.Header)
+	if !has {
+		return r.Context(), func() {}, true
+	}
+	if remaining <= 0 {
+		rt.met.recordDeadlineRejected(endpoint)
+		rt.writeJSON(w, endpoint, http.StatusGatewayTimeout, errorBody(errDeadlineSpent))
+		return nil, nil, false
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), remaining)
+	return ctx, cancel, true
+}
+
+// finishUnserved answers a request no backend served: 504 when its
+// deadline expired mid-walk, 499 when the client went away (written
+// best-effort — the connection is usually gone — but recorded either
+// way), 503 when the ring is genuinely down.
+func (rt *Router) finishUnserved(w http.ResponseWriter, endpoint string, ctx context.Context) {
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			rt.writeJSON(w, endpoint, http.StatusGatewayTimeout, errorBody(errDeadlineExpired))
+		} else {
+			rt.writeJSON(w, endpoint, statusClientClosed, errorBody(
+				fmt.Errorf("client closed request: %w", err)))
+		}
+		return
+	}
+	rt.writeJSON(w, endpoint, http.StatusServiceUnavailable, errorBody(errNoBackend))
+}
+
+// clientFault reports whether a transport error is the *client's* doing
+// — its context died, or the request's deadline ran out — rather than
+// backend evidence. Such errors must not mark the backend down, trip
+// its breaker, or consume retry budget.
+func clientFault(ctx context.Context, err error) bool {
+	return ctx.Err() != nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// spendRetry pays one retry-budget token for a manufactured request to
+// url, counting the denial when the bucket is dry.
+func (rt *Router) spendRetry(url string) bool {
+	if rt.budget.spend(url) {
+		return true
+	}
+	rt.met.recordBudgetExhausted()
+	return false
+}
+
 // saturated reports an explicit back-off signal: the backend is up but
 // refusing work (queue full, draining, shedding) — worth trying the next
 // ring node, and surfaced verbatim when the whole ring answers it.
@@ -435,43 +561,73 @@ func saturated(status int) bool {
 	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 }
 
-// tryBackends walks the candidate backends in order: unhealthy ones are
-// skipped (unless none are healthy, in which case everything is tried —
-// probes may simply not have run yet), transport errors mark the backend
-// down and move on, and 429/503 answers are remembered but passed over.
-// It returns the first conclusive answer, or the last saturated one when
-// the whole ring is saturated, or nil when no backend answered at all.
-// The client's context aborting stops the walk — retrying for a caller
-// that hung up only burns backends.
+// tryBackends walks the candidate backends in order: unhealthy and
+// breaker-open ones are skipped (unless every candidate is — probes may
+// simply not have run yet), transport errors mark the backend down, trip
+// its breaker, and move on, retryable 5xx answers (500/502) are retried
+// on the next backend, and 429/503 answers are remembered but passed
+// over. Only the first send is free: every further hop pays a
+// retry-budget token, and a dry bucket stops the walk — the router must
+// never amplify an outage into a retry storm. It returns the first
+// conclusive answer; failing that the last retryable 5xx (the truth
+// beats a made-up 503); failing that the last saturated answer; failing
+// that nil. The client's context dying stops the walk without marking
+// anyone down — retrying for a caller that hung up only burns backends.
 func (rt *Router) tryBackends(ctx context.Context, order []string, path string, payload []byte) (served, sat *attempt) {
-	healthyExists := false
+	usable := func(b string) bool {
+		return rt.prober.healthy(b) && !rt.breaker.isOpen(b)
+	}
+	anyUsable := false
 	for _, b := range order {
-		if rt.prober.healthy(b) {
-			healthyExists = true
+		if usable(b) {
+			anyUsable = true
 			break
 		}
 	}
+	sent := 0
+	var failed *attempt
 	for _, b := range order {
 		if ctx.Err() != nil {
 			return nil, sat
 		}
-		if healthyExists && !rt.prober.healthy(b) {
+		if anyUsable && !usable(b) {
 			continue
 		}
+		if sent > 0 && !rt.spendRetry(b) {
+			break
+		}
+		if !rt.breaker.allow(b) {
+			continue // lost the half-open probe slot to a sibling request
+		}
+		if sent == 0 {
+			rt.budget.credit(b)
+		}
+		sent++
+		rt.met.recordAttempt(b)
 		att, err := rt.post(ctx, b, path, payload)
 		if err != nil {
-			if ctx.Err() != nil {
+			if clientFault(ctx, err) {
 				return nil, sat
 			}
 			rt.prober.noteProxyError(b, err)
+			rt.breaker.failure(b)
 			continue
 		}
 		if saturated(att.status) {
 			sat = att
 			continue
 		}
+		if retryable5xx(att.status) {
+			rt.breaker.failure(b)
+			failed = att
+			continue
+		}
+		rt.breaker.success(b)
 		rt.met.recordProxied(b)
 		return att, sat
+	}
+	if failed != nil {
+		return failed, sat
 	}
 	return nil, sat
 }
@@ -508,6 +664,11 @@ func (rt *Router) servingTarget(order []string) string {
 // single returns the handler proxying one non-batch endpoint.
 func (rt *Router) single(endpoint, kind string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel, ok := rt.deadlineContext(endpoint, w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
 		body, status, err := rt.readBody(w, r)
 		if err != nil {
 			rt.writeJSON(w, endpoint, status, errorBody(err))
@@ -526,12 +687,24 @@ func (rt *Router) single(endpoint, kind string) http.HandlerFunc {
 		// failover successor standing in for a down owner — ask the
 		// previous owner's cache synchronously. A hit serves the client
 		// immediately and warms the target via the async fill path.
-		if att := rt.peerLookup(r.Context(), mem, kind, fp, target, body); att != nil {
+		if att := rt.peerLookup(ctx, mem, kind, fp, target, body); att != nil {
 			rt.maybeFill(kind, target, body, att)
 			rt.copyProxied(w, endpoint, att)
 			return
 		}
-		served, sat := rt.tryBackends(r.Context(), order, endpoint, body)
+		var served, sat *attempt
+		if rt.cfg.HedgeAfter > 0 {
+			// insert and yield are idempotent pure computations (and the
+			// backends coalesce identical in-flight requests), so a
+			// duplicate send is safe.
+			served, sat = rt.tryHedged(ctx, order, endpoint, body)
+		} else {
+			t0 := time.Now()
+			served, sat = rt.tryBackends(ctx, order, endpoint, body)
+			if served != nil && served.status == http.StatusOK {
+				rt.lat.observe(time.Since(t0))
+			}
+		}
 		switch {
 		case served != nil:
 			if served.backend != order[0] {
@@ -542,7 +715,7 @@ func (rt *Router) single(endpoint, kind string) http.HandlerFunc {
 		case sat != nil:
 			rt.copyProxied(w, endpoint, sat)
 		default:
-			rt.writeJSON(w, endpoint, http.StatusServiceUnavailable, errorBody(errNoBackend))
+			rt.finishUnserved(w, endpoint, ctx)
 		}
 	}
 }
@@ -571,6 +744,11 @@ func (rt *Router) maybeFill(kind, owner string, reqBody []byte, served *attempt)
 // a truncated stream the client retries.
 func (rt *Router) stream(w http.ResponseWriter, r *http.Request) {
 	const endpoint = "/v1/yield:stream"
+	ctx, cancel, ok := rt.deadlineContext(endpoint, w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	body, status, err := rt.readBody(w, r)
 	if err != nil {
 		rt.writeJSON(w, endpoint, status, errorBody(err))
@@ -583,32 +761,49 @@ func (rt *Router) stream(w http.ResponseWriter, r *http.Request) {
 	}
 	mem := rt.mem.Load()
 	order := mem.ring.successors(fp, len(mem.backends))
-	healthyExists := false
+	usable := func(b string) bool {
+		return rt.prober.healthy(b) && !rt.breaker.isOpen(b)
+	}
+	anyUsable := false
 	for _, b := range order {
-		if rt.prober.healthy(b) {
-			healthyExists = true
+		if usable(b) {
+			anyUsable = true
 			break
 		}
 	}
 	var sat *http.Response
+	sent := 0
 	for _, b := range order {
-		if r.Context().Err() != nil {
-			return
+		if ctx.Err() != nil {
+			break
 		}
-		if healthyExists && !rt.prober.healthy(b) {
+		if anyUsable && !usable(b) {
 			continue
 		}
-		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		// Failover to a second backend is manufactured traffic like any
+		// other retry — it pays a budget token.
+		if sent > 0 && !rt.spendRetry(b) {
+			break
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			b+endpoint, bytes.NewReader(body))
 		if err != nil {
 			continue
 		}
 		req.Header.Set("Content-Type", "application/json")
+		server.SetDeadlineHeader(req.Header, ctx)
+		if sent == 0 {
+			rt.budget.credit(b)
+		}
+		sent++
+		rt.met.recordAttempt(b)
 		resp, err := rt.cfg.Client.Do(req)
 		if err != nil {
-			if r.Context().Err() == nil {
-				rt.prober.noteProxyError(b, err)
+			if clientFault(ctx, err) {
+				break
 			}
+			rt.prober.noteProxyError(b, err)
+			rt.breaker.failure(b)
 			continue
 		}
 		if saturated(resp.StatusCode) {
@@ -621,6 +816,7 @@ func (rt *Router) stream(w http.ResponseWriter, r *http.Request) {
 		if b != order[0] {
 			rt.met.recordFailover(order[0])
 		}
+		rt.breaker.success(b)
 		rt.met.recordProxied(b)
 		if sat != nil {
 			sat.Body.Close()
@@ -635,7 +831,7 @@ func (rt *Router) stream(w http.ResponseWriter, r *http.Request) {
 			status: sat.StatusCode, header: sat.Header, body: satBody})
 		return
 	}
-	rt.writeJSON(w, endpoint, http.StatusServiceUnavailable, errorBody(errNoBackend))
+	rt.finishUnserved(w, endpoint, ctx)
 }
 
 // relayStream copies an accepted streaming response chunk by chunk,
@@ -681,6 +877,11 @@ func (rt *Router) relayStream(w http.ResponseWriter, endpoint string, resp *http
 // answer 503 for up to a probe interval while the whole fleet is live.
 func (rt *Router) anyBackend(path string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel, ok := rt.deadlineContext(path, w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
 		mem := rt.mem.Load()
 		healthyExists := false
 		for _, b := range mem.backends {
@@ -690,16 +891,27 @@ func (rt *Router) anyBackend(path string) http.HandlerFunc {
 			}
 		}
 		for _, b := range mem.backends {
+			if ctx.Err() != nil {
+				break
+			}
 			if healthyExists && !rt.prober.healthy(b) {
 				continue
 			}
-			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 				b+path, nil)
 			if err != nil {
 				continue
 			}
+			server.SetDeadlineHeader(req.Header, ctx)
+			rt.met.recordAttempt(b)
 			resp, err := rt.cfg.Client.Do(req)
 			if err != nil {
+				// A vanished client is not backend evidence: marking the
+				// backend down here would let one impatient caller bench a
+				// healthy instance for the whole fleet.
+				if clientFault(ctx, err) {
+					break
+				}
 				rt.prober.noteProxyError(b, err)
 				continue
 			}
@@ -713,7 +925,7 @@ func (rt *Router) anyBackend(path string) http.HandlerFunc {
 				backend: b, status: resp.StatusCode, header: resp.Header, body: body})
 			return
 		}
-		rt.writeJSON(w, path, http.StatusServiceUnavailable, errorBody(errNoBackend))
+		rt.finishUnserved(w, path, ctx)
 	}
 }
 
@@ -737,8 +949,10 @@ func (rt *Router) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 	if rt.filler != nil {
 		backlog = rt.filler.backlog()
 	}
+	openNow, opens := rt.breaker.stats()
 	rt.writeJSON(w, "/metrics", http.StatusOK,
-		rt.met.snapshot(rt.mem.Load(), rt.prober, backlog, rt.prober.anyHealthy()))
+		rt.met.snapshot(rt.mem.Load(), rt.prober, backlog, rt.prober.anyHealthy(),
+			openNow, opens))
 }
 
 // adminBackendsRequest is the body of POST /admin/backends.
@@ -873,6 +1087,11 @@ func prepareItem(kind string, defaults, item json.RawMessage) (fp string, payloa
 // the original order with single-backend partial-failure semantics.
 func (rt *Router) batch(endpoint, kind string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel, ok := rt.deadlineContext(endpoint, w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
 		body, status, err := rt.readBody(w, r)
 		if err != nil {
 			rt.writeJSON(w, endpoint, status, errorBody(err))
@@ -925,7 +1144,7 @@ func (rt *Router) batch(endpoint, kind string) http.HandlerFunc {
 					payloads[j] = it.payload
 				}
 				sub, _ := json.Marshal(rawBatch{Items: payloads})
-				served, sat := rt.tryBackends(r.Context(), rt.groupOrder(mem, target, items), endpoint, sub)
+				served, sat := rt.tryBackends(ctx, rt.groupOrder(mem, target, items), endpoint, sub)
 				outcomes <- groupOutcome{target: target, att: served, sat: sat, items: items}
 			}(target, items)
 		}

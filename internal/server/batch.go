@@ -12,6 +12,8 @@ package server
 // be enqueued answers 429 (pool full) or 503 (draining/shedding).
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -41,9 +43,13 @@ const (
 // recover(): a panic calls onPanic with the structured error instead of
 // killing the worker, and wg.Done fires only after recovery, so the
 // aggregate never reads a half-written item. While the shed gate is
-// active, sweep items are refused before touching the queue.
-func (s *Server) submitBatchItem(endpoint string, wg *sync.WaitGroup,
-	fn func(), onPanic func(error)) submitResult {
+// active, sweep items are refused before touching the queue. At dequeue
+// the job checks ctx — the batch request's deadline-aware context — and
+// an item whose deadline passed (or whose client vanished) while it
+// queued calls onDoomed instead of running, so doomed batch work never
+// burns a worker.
+func (s *Server) submitBatchItem(ctx context.Context, endpoint string, wg *sync.WaitGroup,
+	fn func(), onPanic func(error), onDoomed func(error)) submitResult {
 	if s.shedding() {
 		s.met.recordShed(endpoint)
 		return submitShed
@@ -55,6 +61,12 @@ func (s *Server) submitBatchItem(endpoint string, wg *sync.WaitGroup,
 				onPanic(s.met.panicRecovered(endpoint, r))
 			}
 		}()
+		if err := ctx.Err(); err != nil {
+			s.pool.noteExpired(classSweep)
+			s.met.recordDeadlineExpired(endpoint)
+			onDoomed(err)
+			return
+		}
 		if s.testHookJob != nil {
 			s.testHookJob()
 		}
@@ -65,6 +77,16 @@ func (s *Server) submitBatchItem(endpoint string, wg *sync.WaitGroup,
 		return submitOverloaded
 	}
 	return submitOK
+}
+
+// doomedItemStatus maps a dropped queued item's context error to its
+// per-item status: 504 when the deadline expired, 499 when the client
+// went away.
+func doomedItemStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return statusClientClosed
 }
 
 // batchStatus maps the enqueue outcome to the aggregate HTTP status: the
@@ -130,7 +152,7 @@ func (s *Server) insertBatch(r *http.Request) (int, any) {
 		}
 		leaderFP[i] = fp
 		wg.Add(1)
-		res := s.submitBatchItem("/v1/insert:batch", &wg, func() {
+		res := s.submitBatchItem(r.Context(), "/v1/insert:batch", &wg, func() {
 			res, st, err := s.runPrepared(r.Context(), &req, p)
 			if err != nil {
 				item.Status, item.Error = st, err.Error()
@@ -139,6 +161,8 @@ func (s *Server) insertBatch(r *http.Request) (int, any) {
 			item.Status, item.Result = http.StatusOK, res
 		}, func(perr error) {
 			item.Status, item.Error = http.StatusInternalServerError, perr.Error()
+		}, func(derr error) {
+			item.Status, item.Error = doomedItemStatus(derr), derr.Error()
 		})
 		if res != submitOK {
 			wg.Done()
@@ -222,7 +246,7 @@ func (s *Server) yieldBatch(r *http.Request) (int, any) {
 		}
 		leaderFP[i] = fp
 		wg.Add(1)
-		res := s.submitBatchItem("/v1/yield:batch", &wg, func() {
+		res := s.submitBatchItem(r.Context(), "/v1/yield:batch", &wg, func() {
 			res, st, err := s.runPreparedYield(r.Context(), &req, p, nil)
 			if err != nil {
 				item.Status, item.Error = st, err.Error()
@@ -231,6 +255,8 @@ func (s *Server) yieldBatch(r *http.Request) (int, any) {
 			item.Status, item.Result = http.StatusOK, res
 		}, func(perr error) {
 			item.Status, item.Error = http.StatusInternalServerError, perr.Error()
+		}, func(derr error) {
+			item.Status, item.Error = doomedItemStatus(derr), derr.Error()
 		})
 		if res != submitOK {
 			wg.Done()

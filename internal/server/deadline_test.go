@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDeadlineHeaderParsing(t *testing.T) {
+	h := make(http.Header)
+	if _, ok := DeadlineFromHeader(h); ok {
+		t.Error("absent header parsed as a deadline")
+	}
+	h.Set(DeadlineHeader, "garbage")
+	if _, ok := DeadlineFromHeader(h); ok {
+		t.Error("malformed header parsed as a deadline")
+	}
+	h.Set(DeadlineHeader, "250")
+	if d, ok := DeadlineFromHeader(h); !ok || d != 250*time.Millisecond {
+		t.Errorf("250 parsed as (%v, %v), want (250ms, true)", d, ok)
+	}
+	h.Set(DeadlineHeader, "0")
+	if d, ok := DeadlineFromHeader(h); !ok || d > 0 {
+		t.Errorf("0 parsed as (%v, %v), want spent deadline", d, ok)
+	}
+
+	h = make(http.Header)
+	SetDeadlineHeader(h, context.Background())
+	if h.Get(DeadlineHeader) != "" {
+		t.Error("SetDeadlineHeader stamped a context without a deadline")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	SetDeadlineHeader(h, ctx)
+	if d, ok := DeadlineFromHeader(h); !ok || d <= 0 || d > time.Second {
+		t.Errorf("round-tripped deadline = (%v, %v)", d, ok)
+	}
+}
+
+// postDeadline posts body with a Vabuf-Deadline-Ms header.
+func postDeadline(t *testing.T, url, ms string, body any) (*http.Response, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(DeadlineHeader, ms)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// metricsSection fetches /metrics and returns one top-level section.
+func metricsSection(t *testing.T, url, section string) map[string]any {
+	t.Helper()
+	var met map[string]any
+	getJSON(t, url+"/metrics", &met)
+	sec, ok := met[section].(map[string]any)
+	if !ok {
+		t.Fatalf("/metrics has no %q section", section)
+	}
+	return sec
+}
+
+// TestSpentDeadlineRejectedAtAdmission: a request arriving with its
+// budget already spent is answered 504 before touching the queue — the
+// acceptance criterion that an expired request never reaches a worker.
+func TestSpentDeadlineRejectedAtAdmission(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	ran := make(chan struct{}, 4)
+	s.testHookJob = func() { ran <- struct{}{} }
+
+	for _, ep := range []string{"/v1/insert", "/v1/yield", "/v1/yield:stream"} {
+		resp, raw := postDeadline(t, ts.URL+ep, "0",
+			InsertRequest{Bench: "p1", Algo: "nom"})
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Errorf("%s with spent deadline: status %d (%s), want 504",
+				ep, resp.StatusCode, raw)
+		}
+	}
+	select {
+	case <-ran:
+		t.Fatal("a spent-deadline request reached a DP worker")
+	default:
+	}
+	dl := metricsSection(t, ts.URL, "deadline")
+	if got, _ := dl["rejected_total"].(float64); got != 3 {
+		t.Errorf("deadline.rejected_total = %v, want 3", got)
+	}
+	if got, _ := dl["expired_total"].(float64); got != 0 {
+		t.Errorf("deadline.expired_total = %v, want 0", got)
+	}
+}
+
+// TestDeadlineExpiredWhileQueued: a job whose budget runs out while it
+// waits behind a busy worker is dropped at dequeue — counted as expired,
+// never run.
+func TestDeadlineExpiredWhileQueued(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	defer unblock() // a failing assertion must still free the worker
+	var once sync.Once
+	started := make(chan struct{})
+	s.testHookJob = func() {
+		once.Do(func() { close(started) })
+		<-release
+	}
+
+	// Occupy the lone worker.
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		payload, _ := json.Marshal(InsertRequest{Bench: "p1", Algo: "nom"})
+		resp, err := http.Post(ts.URL+"/v1/insert", "application/json",
+			bytes.NewReader(payload))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-started
+
+	// This one queues behind the blocker and its 60ms budget dies there.
+	// A different tree than the blocker's: an identical request would
+	// coalesce onto the in-flight run instead of queueing.
+	resp, raw := postDeadline(t, ts.URL+"/v1/insert", "60",
+		InsertRequest{Tree: smallTreeText(t), Algo: "nom"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("queued-past-deadline request: status %d (%s), want 504",
+			resp.StatusCode, raw)
+	}
+
+	unblock()
+	<-blockerDone
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.expiredTotal() != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.pool.expiredTotal(); got != 1 {
+		t.Errorf("pool expired total = %d, want 1", got)
+	}
+	dl := metricsSection(t, ts.URL, "deadline")
+	if got, _ := dl["expired_total"].(float64); got != 1 {
+		t.Errorf("deadline.expired_total = %v, want 1", got)
+	}
+}
+
+// TestQueueWaitCountsRejections: the queue-wait histogram counts every
+// admission outcome, including refused submissions (observed as 0 wait),
+// so overload is visible in the histogram itself.
+func TestQueueWaitCountsRejections(t *testing.T) {
+	p := newWorkerPool(1, 0, 0, 1) // zero queue depth: every submit refused
+	defer p.close()
+	for i := 0; i < 3; i++ {
+		if p.trySubmit(func() {}, classInteractive) {
+			t.Fatal("submit into a zero-depth queue succeeded")
+		}
+	}
+	snap := p.classSnapshot()
+	inter := snap["interactive"].(map[string]any)
+	wait := inter["wait_ms"].(map[string]any)
+	if got := wait["count"].(int64); got != 3 {
+		t.Errorf("wait histogram count = %v, want 3 (rejections counted)", got)
+	}
+	if got := inter["rejected"].(int64); got != 3 {
+		t.Errorf("rejected = %v, want 3", got)
+	}
+}

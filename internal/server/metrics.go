@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"log"
+	"runtime"
 	"runtime/debug"
 	"strconv"
 	"sync"
@@ -104,16 +105,25 @@ type metrics struct {
 	// (epoch mismatch or malformed request).
 	peerLookupHits   int64
 	peerLookupMisses int64
+	// deadlineRejected counts requests refused with 504 at admission
+	// because their propagated Vabuf-Deadline-Ms budget was already spent
+	// — they never touched a cache or the queue. deadlineExpired counts
+	// queued jobs dropped at dequeue because their deadline passed (or
+	// their client vanished) while they waited. Both keyed by endpoint.
+	deadlineRejected map[string]int64
+	deadlineExpired  map[string]int64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		start:     time.Now(),
-		requests:  make(map[string]map[string]int64),
-		latency:   make(map[string]*histogram),
-		panics:    make(map[string]int64),
-		shed:      make(map[string]int64),
-		coalesced: make(map[string]int64),
+		start:            time.Now(),
+		requests:         make(map[string]map[string]int64),
+		latency:          make(map[string]*histogram),
+		panics:           make(map[string]int64),
+		shed:             make(map[string]int64),
+		coalesced:        make(map[string]int64),
+		deadlineRejected: make(map[string]int64),
+		deadlineExpired:  make(map[string]int64),
 	}
 }
 
@@ -156,6 +166,22 @@ func (m *metrics) recordPeerLookup(hit bool) {
 	} else {
 		m.peerLookupMisses++
 	}
+	m.mu.Unlock()
+}
+
+// recordDeadlineRejected counts one request refused at admission because
+// its propagated deadline was already spent.
+func (m *metrics) recordDeadlineRejected(endpoint string) {
+	m.mu.Lock()
+	m.deadlineRejected[endpoint]++
+	m.mu.Unlock()
+}
+
+// recordDeadlineExpired counts one queued job dropped at dequeue because
+// its deadline passed (or its client vanished) while it waited.
+func (m *metrics) recordDeadlineExpired(endpoint string) {
+	m.mu.Lock()
+	m.deadlineExpired[endpoint]++
 	m.mu.Unlock()
 }
 
@@ -302,6 +328,17 @@ func (m *metrics) snapshot(pool *workerPool, trees, models, results *lruCache,
 		"hits":   m.peerLookupHits,
 		"misses": m.peerLookupMisses,
 	}
+	var rejectedTotal, expiredTotal int64
+	deadlineRejected := make(map[string]int64, len(m.deadlineRejected))
+	for ep, n := range m.deadlineRejected {
+		deadlineRejected[ep] = n
+		rejectedTotal += n
+	}
+	deadlineExpired := make(map[string]int64, len(m.deadlineExpired))
+	for ep, n := range m.deadlineExpired {
+		deadlineExpired[ep] = n
+		expiredTotal += n
+	}
 	snap := map[string]any{
 		"restored_trees":   m.snap.restoredTrees,
 		"restored_models":  m.snap.restoredModels,
@@ -331,8 +368,21 @@ func (m *metrics) snapshot(pool *workerPool, trees, models, results *lruCache,
 	doc := map[string]any{
 		"uptime_seconds": time.Since(m.start).Seconds(),
 		"state":          state,
-		"requests":       requests,
-		"latency_ms":     latency,
+		// goroutines is the live goroutine count — fleet.sh and chaos.sh
+		// compare it across a run to catch leaks in the serve path.
+		"goroutines": runtime.NumGoroutine(),
+		"requests":   requests,
+		"latency_ms": latency,
+		// deadline tracks Vabuf-Deadline-Ms enforcement: rejected counts
+		// 504s at admission (budget spent before any work), expired counts
+		// queued jobs dropped at dequeue — both per endpoint plus totals,
+		// so a soak can assert doomed work never reached a DP worker.
+		"deadline": map[string]any{
+			"rejected":       deadlineRejected,
+			"expired":        deadlineExpired,
+			"rejected_total": rejectedTotal,
+			"expired_total":  expiredTotal,
+		},
 		// panics_recovered counts jobs whose panic was converted into a
 		// structured 500 for that request/item, keyed by the endpoint
 		// that submitted them; the worker always survives.

@@ -49,7 +49,15 @@ type classState struct {
 	inFlight   int
 	rejected   int64
 	dispatched int64
-	wait       *histogram // queue-wait latency, ms
+	// expired counts dequeued jobs dropped without running because their
+	// deadline passed (or their client vanished) while they waited —
+	// doomed work the pool refused to burn a worker on.
+	expired int64
+	// wait observes queue-wait latency (ms) for every admission outcome:
+	// dispatched jobs their true wait, expired jobs the wait that doomed
+	// them, and rejected submissions a 0 — so the histogram count always
+	// equals admissions + rejections and drops are visible in it.
+	wait *histogram
 }
 
 // workerPool runs insertion jobs on a fixed set of goroutines fed by a
@@ -189,6 +197,7 @@ func (p *workerPool) trySubmit(job func(), class jobClass) bool {
 	st := &p.classes[class]
 	if p.closed || len(st.queued) >= st.capacity {
 		st.rejected++
+		st.wait.observe(0) // rejected work never waited, but is counted
 		if !p.closed && p.saturatedSince.IsZero() {
 			p.saturatedSince = time.Now()
 		}
@@ -223,6 +232,22 @@ func (p *workerPool) saturatedFor() time.Duration {
 		return 0
 	}
 	return time.Since(p.saturatedSince)
+}
+
+// noteExpired counts one dequeued job dropped without running: its
+// deadline passed (or its client vanished) while it waited. The job's
+// queue wait was already observed at dequeue.
+func (p *workerPool) noteExpired(class jobClass) {
+	p.mu.Lock()
+	p.classes[class].expired++
+	p.mu.Unlock()
+}
+
+// expiredTotal is the number of dequeued-but-dropped jobs across classes.
+func (p *workerPool) expiredTotal() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.classes[classInteractive].expired + p.classes[classSweep].expired
 }
 
 // workerPanics is the number of panics the backstop recover absorbed.
@@ -294,6 +319,7 @@ func (p *workerPool) classSnapshot() map[string]any {
 			"capacity":   st.capacity,
 			"rejected":   st.rejected,
 			"dispatched": st.dispatched,
+			"expired":    st.expired,
 			"wait_ms":    st.wait.snapshot(),
 		}
 	}

@@ -270,12 +270,22 @@ func (s *Server) Close() {
 	})
 }
 
-// instrument wraps an endpoint: it records the request counter, stamps
-// the identity headers, attaches Retry-After to overload/unavailable
-// responses, and writes the JSON body.
+// instrument wraps an endpoint: it enforces the propagated request
+// deadline (a spent budget answers 504 before the handler runs; a live
+// one becomes the request context's deadline), records the request
+// counter, stamps the identity headers, attaches Retry-After to
+// overload/unavailable responses, and writes the JSON body.
 func (s *Server) instrument(endpoint string, h func(*http.Request) (int, any)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		status, body := h(r)
+		var status int
+		var body any
+		if dr, cancel, doomed := withRequestDeadline(r); doomed {
+			s.met.recordDeadlineRejected(endpoint)
+			status, body = http.StatusGatewayTimeout, errBody(errDeadlineSpent)
+		} else {
+			defer cancel()
+			status, body = h(dr)
+		}
 		s.met.recordRequest(endpoint, status)
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
@@ -291,9 +301,10 @@ func (s *Server) instrument(endpoint string, h func(*http.Request) (int, any)) h
 
 // Sentinel errors of the request path.
 var (
-	errOverloaded = errors.New("server overloaded: job queue full")
-	errDraining   = errors.New("server is draining; retry against another instance")
-	errShedding   = errors.New("server is shedding sweep work under sustained overload")
+	errOverloaded    = errors.New("server overloaded: job queue full")
+	errDraining      = errors.New("server is draining; retry against another instance")
+	errShedding      = errors.New("server is shedding sweep work under sustained overload")
+	errDeadlineSpent = errors.New("request deadline already spent before admission")
 )
 
 // statusClientClosed mirrors nginx's non-standard 499 "client closed
@@ -465,8 +476,18 @@ func (s *Server) execute(ctx context.Context, endpoint string, class jobClass, f
 		s.met.recordShed(endpoint)
 		return http.StatusServiceUnavailable, errShedding
 	}
+	if err := ctx.Err(); err != nil {
+		// Dead on arrival — the deadline (or the client) gave up between
+		// admission and submit. Refuse before consuming a queue slot.
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.met.recordDeadlineRejected(endpoint)
+			return http.StatusGatewayTimeout, fmt.Errorf("deadline spent before enqueue: %w", err)
+		}
+		return statusClientClosed, fmt.Errorf("client closed request: %w", err)
+	}
 	done := make(chan struct{})
 	var panicked error
+	var droppedQueued bool
 	job := func() {
 		defer close(done)
 		defer func() {
@@ -474,6 +495,16 @@ func (s *Server) execute(ctx context.Context, endpoint string, class jobClass, f
 				panicked = s.met.panicRecovered(endpoint, r)
 			}
 		}()
+		// Dequeue gate: a job whose deadline passed (or whose client
+		// vanished) while it waited is dropped without running — its
+		// requester has already been answered, so the run could only
+		// burn a worker the live requests need.
+		if ctx.Err() != nil {
+			droppedQueued = true
+			s.pool.noteExpired(class)
+			s.met.recordDeadlineExpired(endpoint)
+			return
+		}
 		if s.testHookJob != nil {
 			s.testHookJob()
 		}
@@ -488,10 +519,21 @@ func (s *Server) execute(ctx context.Context, endpoint string, class jobClass, f
 		if panicked != nil {
 			return http.StatusInternalServerError, panicked
 		}
+		if droppedQueued {
+			// Reachable only when ctx died and the dequeue raced the
+			// select; classify the same way as the ctx.Done arm below.
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return http.StatusGatewayTimeout, fmt.Errorf("deadline expired while queued: %w", ctx.Err())
+			}
+			return statusClientClosed, fmt.Errorf("client closed request: %w", ctx.Err())
+		}
 		return 0, nil
 	case <-ctx.Done():
-		// The job still runs to completion on its worker; the closure
+		// The job still runs (or is dropped) on its worker; the closure
 		// owns every variable it writes, so nothing races.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return http.StatusGatewayTimeout, fmt.Errorf("deadline expired: %w", ctx.Err())
+		}
 		return statusClientClosed, fmt.Errorf("client closed request: %w", ctx.Err())
 	}
 }
@@ -628,6 +670,12 @@ func (s *Server) memoized(r *http.Request, endpoint, fp string,
 				}
 				continue
 			case <-r.Context().Done():
+				// Same classification as execute: a waiter whose budget
+				// ran out is a timeout (504), not a hung-up client (499).
+				if err := r.Context().Err(); errors.Is(err, context.DeadlineExceeded) {
+					return http.StatusGatewayTimeout, errBody(
+						fmt.Errorf("deadline expired awaiting coalesced result: %w", err))
+				}
 				return statusClientClosed, errBody(
 					fmt.Errorf("client closed request: %w", r.Context().Err()))
 			}

@@ -49,6 +49,24 @@ type StreamEvent struct {
 }
 
 func (s *Server) yieldStream(w http.ResponseWriter, r *http.Request) {
+	// The stream bypasses instrument, so it enforces the propagated
+	// deadline itself: spent budgets answer 504 before any work, live
+	// ones bound the run through the request context.
+	dr, cancel, doomed := withRequestDeadline(r)
+	if doomed {
+		s.met.recordDeadlineRejected("/v1/yield:stream")
+		s.met.recordRequest("/v1/yield:stream", http.StatusGatewayTimeout)
+		s.identityHeaders(w)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGatewayTimeout)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(errBody(errDeadlineSpent))
+		return
+	}
+	defer cancel()
+	r = dr
+
 	status, errResult, run := s.prepareYieldStream(r)
 	if run == nil {
 		s.met.recordRequest("/v1/yield:stream", status)

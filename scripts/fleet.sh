@@ -20,12 +20,21 @@ PIDS=""
 cleanup() {
   # shellcheck disable=SC2086
   [ -n "$PIDS" ] && kill $PIDS 2>/dev/null || true
-  rm -rf "$TMP"
+  # Give the processes a beat to exit so rm does not race their final
+  # snapshot/log writes; a leftover tmp dir must not fail the run.
+  sleep 1
+  rm -rf "$TMP" 2>/dev/null || true
 }
 trap cleanup EXIT INT TERM
 
 go build -o "$TMP/vabufd" ./cmd/vabufd
 go build -o "$TMP/vabufr" ./cmd/vabufr
+
+# metric NAME URL — read one integer gauge/counter from a /metrics body.
+metric() {
+  curl -fsS "http://$2/metrics" \
+    | sed -n "s/.*\"$1\": \([0-9][0-9]*\).*/\1/p" | head -1
+}
 
 # Boot the backends on ephemeral ports; each gets its own instance id,
 # snapshot path (the lock forbids sharing one), and the shared epoch.
@@ -191,3 +200,17 @@ if [ -z "$LHITS" ] || [ "$LHITS" -lt 1 ]; then
 fi
 
 echo "fleet: ok — resize 2->3 rebuilt the ring ($REBUILDS rebuilds), all keys served, $LHITS moved key(s) rescued via peer lookup"
+
+# --- Goroutine-growth gate: after the whole smoke (two routers, a
+# resize, dozens of requests) each backend's goroutine gauge must sit in
+# a flat envelope. A leak proportional to request count would blow past
+# the slack; idle keep-alive conns and probe handlers fit inside it.
+sleep 2
+for i in 1 2 3; do
+  G=$(metric goroutines "$(eval echo "\$ADDR$i")")
+  if [ -z "$G" ] || [ "$G" -gt 40 ]; then
+    echo "fleet: backend b$i reports ${G:-?} goroutines after the smoke, want <= 40" >&2
+    exit 1
+  fi
+done
+echo "fleet: ok — backend goroutine envelope flat after the smoke"
