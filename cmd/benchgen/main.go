@@ -7,6 +7,7 @@
 //	benchgen -preset r3 > r3.tree
 //	benchgen -sinks 500 -seed 7 -die 8000 > net.tree
 //	benchgen -htree 6 -die 10000 > clk.tree
+//	benchgen -lib 32 > lib32.json
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"vabuf"
 	"vabuf/internal/benchgen"
+	"vabuf/internal/device"
 	"vabuf/internal/rctree"
 )
 
@@ -34,9 +36,18 @@ func run() error {
 		die     = flag.Float64("die", 0, "die side in µm (0 = auto)")
 		htree   = flag.Int("htree", 0, "H-tree levels (4^levels sinks)")
 		segment = flag.Float64("segment", 0, "segmentize wires longer than this (µm, 0 = off)")
+		libN    = flag.Int("lib", 0, "emit an n-cell scaled repeater+inverter library as JSON instead of a tree")
 		list    = flag.Bool("list", false, "list the built-in presets and exit")
 	)
 	flag.Parse()
+
+	if *libN > 0 {
+		lib, err := benchgen.ScaledLibrary(*libN)
+		if err != nil {
+			return err
+		}
+		return device.WriteLibrary(os.Stdout, lib)
+	}
 
 	if *list {
 		for _, s := range benchgen.Presets() {

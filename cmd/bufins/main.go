@@ -107,6 +107,7 @@ func run() error {
 		treeFile  = flag.String("tree", "", "tree file in rctree text format")
 		algo      = flag.String("algo", "wid", "nom, d2d, or wid")
 		ruleName  = flag.String("rule", "2p", "pruning rule for variation-aware runs: 2p or 4p")
+		hullName  = flag.String("hull", "auto", "convex-hull buffering kernel: auto, on, or off (results identical)")
 		pbar      = flag.Float64("pbar", 0.5, "2P thresholds pbar_L = pbar_T")
 		budget    = flag.Float64("budget", 0.15, "per-class variation budget")
 		hetero    = flag.Bool("hetero", true, "heterogeneous spatial variation")
@@ -177,6 +178,7 @@ func run() error {
 				Bench:             *bench,
 				Algo:              *algo,
 				Rule:              *ruleName,
+				Hull:              *hullName,
 				Pbar:              *pbar,
 				Budget:            *budget,
 				Heterogeneous:     hetero,
@@ -259,6 +261,10 @@ func run() error {
 		opts.Rule = vabuf.Rule4P
 	default:
 		return fmt.Errorf("unknown rule %q", *ruleName)
+	}
+	opts.HullBuffering, err = vabuf.ParseHullMode(*hullName)
+	if err != nil {
+		return err
 	}
 	var model *vabuf.VariationModel
 	switch *algo {

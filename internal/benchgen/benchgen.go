@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"slices"
 
+	"vabuf/internal/device"
 	"vabuf/internal/geom"
 	"vabuf/internal/rctree"
 )
@@ -167,6 +168,57 @@ func Build(name string) (*rctree.Tree, error) {
 		return nil, err
 	}
 	return Random(spec)
+}
+
+// ScaledLibrary returns a deterministic n-cell buffer library shaped like
+// a real standard-cell repeater family: a geometric width ladder from 1 to
+// 64 µm with the ideal-scaling electricals of the repo's 65 nm substrate
+// (C_b ∝ w, R_b ∝ 1/w, width-invariant intrinsic delay; the w = 2 cell
+// reproduces DefaultLibrary's b2 exactly). Every third cell is a
+// single-stage inverter at half the two-stage intrinsic delay, and all but
+// the widest quarter of the ladder carry a drive-capability cap of 100×
+// their input capacitance — the library-scaling benchmarks exercise
+// polarity tracking and MaxLoad filtering, not just raw type count.
+func ScaledLibrary(n int) (device.Library, error) {
+	if n < 1 || n > 256 {
+		return nil, fmt.Errorf("benchgen: library size %d outside [1, 256]", n)
+	}
+	// Anchors from device.DefaultLibrary / InverterLibrary at w = 2.
+	const (
+		cbPerMicron = 0.6625 / 2  // fF / µm
+		rbTimesW    = 1.01495 * 2 // kΩ · µm
+		bufTb       = 59.4767     // ps
+		invTb       = 29.7384     // ps
+		wMin, wMax  = 1.0, 64.0
+	)
+	lib := make(device.Library, 0, n)
+	for i := 0; i < n; i++ {
+		f := 0.0
+		if n > 1 {
+			f = float64(i) / float64(n-1)
+		}
+		w := wMin * math.Pow(wMax/wMin, f)
+		b := device.BufferType{
+			Cb0: cbPerMicron * w,
+			Tb0: bufTb,
+			Rb:  rbTimesW / w,
+		}
+		if i%3 == 2 {
+			b.Inverting = true
+			b.Tb0 = invTb
+			b.Name = fmt.Sprintf("inv%d_w%.4g", i, w)
+		} else {
+			b.Name = fmt.Sprintf("buf%d_w%.4g", i, w)
+		}
+		if i < n-(n+3)/4 {
+			b.MaxLoad = 100 * b.Cb0
+		}
+		lib = append(lib, b)
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, fmt.Errorf("benchgen: scaled library invalid: %w", err)
+	}
+	return lib, nil
 }
 
 // HTree builds a classic H-tree clock network with 4^levels sinks spread

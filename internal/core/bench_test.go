@@ -114,6 +114,50 @@ func BenchmarkInsertWIDp1Auto4(b *testing.B)  { benchmarkInsert(b, "p1", true, 4
 func BenchmarkInsertWIDr1Serial(b *testing.B) { benchmarkInsert(b, "r1", true, 1, 1) }
 func BenchmarkInsertWIDr1Par4(b *testing.B)   { benchmarkInsert(b, "r1", true, 4, 1) }
 
+// benchmarkInsertLib is the library-scaling benchmark: the full DP on a
+// Table 1 preset with an n-cell ScaledLibrary (sized repeaters +
+// inverters + MaxLoad caps). hull selects the buffering kernel — the
+// Exact variants freeze the pre-hull cost so the convex-hull win is
+// measured inside one binary.
+func benchmarkInsertLib(b *testing.B, bench string, nlib int, withModel bool, hull HullMode) {
+	tr, err := benchgen.Build(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := benchgen.ScaledLibrary(nlib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var model *variation.Model
+	if withModel {
+		model, err = variation.NewModel(variation.DefaultConfig(tr.BoundingBox().Expand(100)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Insert(tr, Options{
+			Library: lib, Model: model,
+			Parallelism: 1, MinParallelNodes: 1,
+			HullBuffering: hull,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NumBuffers == 0 {
+			b.Fatal("no buffers inserted")
+		}
+	}
+}
+
+func BenchmarkInsertLib8NOMr3Serial(b *testing.B)       { benchmarkInsertLib(b, "r3", 8, false, HullAuto) }
+func BenchmarkInsertLib8NOMr3SerialExact(b *testing.B)  { benchmarkInsertLib(b, "r3", 8, false, HullOff) }
+func BenchmarkInsertLib32NOMr3Serial(b *testing.B)      { benchmarkInsertLib(b, "r3", 32, false, HullAuto) }
+func BenchmarkInsertLib32NOMr3SerialExact(b *testing.B) { benchmarkInsertLib(b, "r3", 32, false, HullOff) }
+func BenchmarkInsertLib32WIDr3Serial(b *testing.B)      { benchmarkInsertLib(b, "r3", 32, true, HullAuto) }
+
 // benchmarkInsertSubtree measures ECO-style re-insertion on r3 under the
 // WID model: every iteration perturbs one sink RAT (a different sink and a
 // unique delta each time, so no whole-tree result reuse is possible) and

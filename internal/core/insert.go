@@ -22,6 +22,10 @@ type engine struct {
 	ctx     context.Context
 	maxCand int
 	start   time.Time
+	// hull routes buffering through the convex-hull kernel (hull.go).
+	// Resolved once per run: HullBuffering != off and a 2P-family rule
+	// (the 4P partial order has no per-type single-survivor property).
+	hull bool
 	// dev holds the precomputed device deviation form per buffer site.
 	// Model.Deviation allocates sources lazily and is not goroutine-safe,
 	// so the engine resolves every site up front — in post order, the same
@@ -61,6 +65,7 @@ type worker struct {
 	prn   *pruner
 	prov  provWriter
 	terms *variation.Arena
+	hull  hullScratch
 }
 
 // errAborted is the sentinel a worker returns when it stops because a
@@ -101,6 +106,7 @@ func Insert(tree *rctree.Tree, opts Options) (*Result, error) {
 		ctx:     o.Context,
 		maxCand: o.MaxCandidates,
 		start:   time.Now(),
+		hull:    o.HullBuffering != HullOff && o.Rule != Rule4P,
 	}
 	if o.Model != nil {
 		e.space = o.Model.Space
@@ -175,6 +181,12 @@ func (e *engine) retire(w *worker) {
 	e.stats.SubtreeHits += w.stats.SubtreeHits
 	e.stats.SubtreeMisses += w.stats.SubtreeMisses
 	e.stats.SubtreeStores += w.stats.SubtreeStores
+	e.stats.HullSites += w.stats.HullSites
+	e.stats.HullSkipped += w.stats.HullSkipped
+	e.stats.HullFallbacks += w.stats.HullFallbacks
+	if w.stats.HullPeak > e.stats.HullPeak {
+		e.stats.HullPeak = w.stats.HullPeak
+	}
 }
 
 // release returns every term arena's slabs to the shared pool. Only legal
@@ -434,13 +446,34 @@ func (e *engine) deviation(id rctree.NodeID) variation.Form {
 	return e.dev[id]
 }
 
-// addBuffers augments the polarity frontiers with one buffered candidate
-// per (existing candidate, buffer type) pair (eq. 27–28 / 35–36). Both C_b
-// and T_b of a buffer at one site share the same underlying deviation
-// (they are driven by the same device's process parameters), per
-// eq. 23–24. A non-inverting buffer keeps the candidate's required
-// polarity; an inverter flips it.
+// addBuffers augments the polarity frontiers with buffered candidates at
+// a legal site, dispatching between the exact per-pair generator and the
+// convex-hull kernel (hull.go). Both paths produce frontiers whose
+// surviving candidates are bit-identical after the prune.
 func (w *worker) addBuffers(id rctree.NodeID, node *rctree.Node, pl polarityLists) polarityLists {
+	if w.eng.hull {
+		return w.addBuffersHull(id, node, pl)
+	}
+	return w.addBuffersExact(id, node, pl)
+}
+
+// addBuffersExact augments the polarity frontiers with one buffered
+// candidate per (existing candidate, buffer type) pair (eq. 27–28 /
+// 35–36). Both C_b and T_b of a buffer at one site share the same
+// underlying deviation (they are driven by the same device's process
+// parameters), per eq. 23–24. A non-inverting buffer keeps the
+// candidate's required polarity; an inverter flips it.
+//
+// Drive-capability semantics: MaxLoad is compared against the
+// candidate's *nominal* downstream load only. Under variation the true
+// load is a distribution (L = ln ± σ), and a buffer is considered able
+// to drive any candidate whose mean load fits — load σ is deliberately
+// ignored, mirroring the deterministic library characterization the
+// MaxLoad figure comes from. A yield-aware drive check (e.g. nominal +
+// k·σ ≤ MaxLoad) would be a semantic change to the DP's feasible set;
+// TestMaxLoadNominalSemantics pins the current behavior. The hull
+// kernel applies the identical gate.
+func (w *worker) addBuffersExact(id rctree.NodeID, node *rctree.Node, pl polarityLists) polarityLists {
 	dev := w.eng.deviation(id)
 	out := pl
 	// Snapshot the input lengths: buffered candidates are appended to the

@@ -75,6 +75,187 @@ func bruteForceBest(t *testing.T, tree *rctree.Tree, lib device.Library) float64
 	return best
 }
 
+// bfInvLib adds a small inverter to smallLib, keeping enumeration feasible
+// while forcing the polarity-tracking machinery into the comparison.
+func bfInvLib() device.Library {
+	return device.Library{
+		{Name: "s", Cb0: 1.2, Tb0: 9, Rb: 0.4},
+		{Name: "i", Cb0: 1.0, Tb0: 5, Rb: 0.45, Inverting: true},
+		{Name: "l", Cb0: 3.5, Tb0: 9, Rb: 0.15},
+	}
+}
+
+// polarityLegal reports whether an assignment delivers true polarity at
+// every sink: an even number of inverters on each sink-to-root path.
+func polarityLegal(tree *rctree.Tree, lib device.Library, assign map[rctree.NodeID]int) bool {
+	for i := range tree.Nodes {
+		if tree.Nodes[i].Kind != rctree.KindSink {
+			continue
+		}
+		inv := 0
+		for id := tree.Nodes[i].ID; id != rctree.NoNode; id = tree.Node(id).Parent {
+			if bi, ok := assign[id]; ok && lib[bi].Inverting {
+				inv++
+			}
+		}
+		if inv%2 != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachAssignment enumerates every buffer assignment over the tree's
+// legal positions (including "no buffer" per position), reusing one map.
+func forEachAssignment(t *testing.T, tree *rctree.Tree, lib device.Library,
+	visit func(map[rctree.NodeID]int)) {
+	t.Helper()
+	var positions []rctree.NodeID
+	for i := range tree.Nodes {
+		if tree.Nodes[i].BufferOK {
+			positions = append(positions, tree.Nodes[i].ID)
+		}
+	}
+	choices := len(lib) + 1
+	total := 1
+	for range positions {
+		total *= choices
+		if total > 1<<22 {
+			t.Fatalf("brute force space too large: %d positions", len(positions))
+		}
+	}
+	assign := make(map[rctree.NodeID]int)
+	for code := 0; code < total; code++ {
+		clear(assign)
+		c := code
+		for _, pos := range positions {
+			pick := c % choices
+			c /= choices
+			if pick > 0 {
+				assign[pos] = pick - 1
+			}
+		}
+		visit(assign)
+	}
+}
+
+// bruteForcePolarityBest enumerates every polarity-legal assignment and
+// returns the best nominal root RAT (inverters are electrically plain
+// buffers; polarity only constrains which assignments are admissible).
+func bruteForcePolarityBest(t *testing.T, tree *rctree.Tree, lib device.Library) float64 {
+	t.Helper()
+	best := math.Inf(-1)
+	forEachAssignment(t, tree, lib, func(assign map[rctree.NodeID]int) {
+		if !polarityLegal(tree, lib, assign) {
+			return
+		}
+		ev, err := rctree.Evaluate(tree, nominalAssignment(lib, assign))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.RootRAT > best {
+			best = ev.RootRAT
+		}
+	})
+	return best
+}
+
+// bruteForceQuantileBest enumerates every polarity-legal assignment,
+// propagates the canonical RAT form, and returns the best q-quantile —
+// the exact optimum of the variation-aware objective.
+func bruteForceQuantileBest(t *testing.T, tree *rctree.Tree, lib device.Library,
+	model *variation.Model, q float64) float64 {
+	t.Helper()
+	best := math.Inf(-1)
+	forEachAssignment(t, tree, lib, func(assign map[rctree.NodeID]int) {
+		if !polarityLegal(tree, lib, assign) {
+			return
+		}
+		rat, err := yield.Propagate(tree, lib, assign, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obj := rat.Quantile(q, model.Space); obj > best {
+			best = obj
+		}
+	})
+	return best
+}
+
+// TestInvertingMatchesBruteForce: the deterministic DP over an inverting
+// multi-type library must find the exact polarity-legal optimum.
+func TestInvertingMatchesBruteForce(t *testing.T) {
+	lib := bfInvLib()
+	for _, seed := range []int64{1, 2, 3, 4} {
+		tr, err := benchgen.Random(benchgen.Spec{Sinks: 4, Seed: seed, DieSide: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Insert(tr, Options{Library: lib})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := bruteForcePolarityBest(t, tr, lib)
+		if math.Abs(res.Mean-want) > 1e-9 {
+			t.Errorf("seed %d: DP RAT %.6f != polarity-legal brute force %.6f", seed, res.Mean, want)
+		}
+		if !polarityLegal(tr, lib, res.Assignment) {
+			t.Errorf("seed %d: DP assignment is polarity-illegal", seed)
+		}
+	}
+}
+
+// TestStatisticalBruteForcePbar09 cross-checks the variation-aware DP at
+// pbar > 0.5 against exhaustive enumeration over a multi-type inverting
+// library. The pbar > 0.5 sweep is deliberately lossy (probabilistic
+// dominance can prune a candidate the exact quantile objective would have
+// kept), so the DP is held to the paper's §5.3 envelope — within 1% of
+// the true optimum — while its own reported objective must re-propagate
+// exactly. Runs with the hull kernel on and off: both must land on the
+// identical solution.
+func TestStatisticalBruteForcePbar09(t *testing.T) {
+	lib := bfInvLib()
+	for _, seed := range []int64{1, 2, 3} {
+		tr, err := benchgen.Random(benchgen.Spec{Sinks: 4, Seed: seed, DieSide: 4000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := variation.NewModel(variation.DefaultConfig(tr.BoundingBox().Expand(100)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Library: lib, Model: model, PbarL: 0.9, PbarT: 0.9}
+		res, err := Insert(tr, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		best := bruteForceQuantileBest(t, tr, lib, model, 0.05)
+		if res.Objective > best+1e-6 {
+			t.Errorf("seed %d: DP objective %.6f beats exhaustive optimum %.6f", seed, res.Objective, best)
+		}
+		if res.Objective < best-0.01*math.Abs(best) {
+			t.Errorf("seed %d: DP objective %.6f more than 1%% below optimum %.6f", seed, res.Objective, best)
+		}
+		rat, err := yield.Propagate(tr, lib, res.Assignment, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rat.Quantile(0.05, model.Space); math.Abs(got-res.Objective) > 1e-6 {
+			t.Errorf("seed %d: assignment re-propagates to %.6f, DP said %.6f", seed, got, res.Objective)
+		}
+		exactOpts := opts
+		exactOpts.HullBuffering = HullOff
+		exact, err := Insert(tr, exactOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(exact.Objective) != math.Float64bits(res.Objective) ||
+			len(exact.Assignment) != len(res.Assignment) {
+			t.Errorf("seed %d: hull/exact diverge: %.9f vs %.9f", seed, res.Objective, exact.Objective)
+		}
+	}
+}
+
 func TestDeterministicMatchesBruteForce(t *testing.T) {
 	lib := smallLib()
 	for _, seed := range []int64{1, 2, 3, 4, 5} {

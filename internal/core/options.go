@@ -65,6 +65,61 @@ func (p FourPParams) validate() error {
 // to serial) and r3 (1724 nodes, where they win); see BENCH_core.json.
 const DefaultMinParallelNodes = 1024
 
+// HullMode controls the convex-hull buffering kernel (Li–Shi, arxiv
+// 0710.4691): at each buffer site, instead of materializing one buffered
+// candidate per (candidate, buffer type) pair and letting the pruner
+// discard the dominated ones, the engine picks each type's hull-optimal
+// candidate by a flat scan over the frontier's (C, Q) staircase and skips
+// the rest before they are ever generated. Results are bit-identical to
+// the exact path — the kernel only ever skips candidates the very same
+// pruning sweep would provably remove (see DESIGN.md §14) — but
+// Stats.Generated/Pruned shrink by exactly Stats.HullSkipped.
+type HullMode uint8
+
+const (
+	// HullAuto (the default) enables the kernel wherever the active rule
+	// supports it: deterministic runs, 2P at pbar = 0.5 (full predictive
+	// pruning) and 2P at pbar > 0.5 (per-type sandwich pre-prune). 4P
+	// sites always take the exact path.
+	HullAuto HullMode = iota
+	// HullOn behaves like HullAuto; it exists so flags and DTOs can state
+	// the choice explicitly.
+	HullOn
+	// HullOff disables the kernel: every (candidate, type) pair is
+	// materialized and pruned pairwise, the pre-PR behavior. The AoS
+	// reference tests run with HullOff because they assert the exact
+	// path's Generated/Pruned counters.
+	HullOff
+)
+
+// String implements fmt.Stringer.
+func (m HullMode) String() string {
+	switch m {
+	case HullAuto:
+		return "auto"
+	case HullOn:
+		return "on"
+	case HullOff:
+		return "off"
+	default:
+		return fmt.Sprintf("hull(%d)", uint8(m))
+	}
+}
+
+// ParseHullMode maps the flag/DTO spellings auto, on, off to a HullMode.
+func ParseHullMode(s string) (HullMode, error) {
+	switch s {
+	case "", "auto":
+		return HullAuto, nil
+	case "on":
+		return HullOn, nil
+	case "off":
+		return HullOff, nil
+	default:
+		return HullAuto, fmt.Errorf("core: unknown hull mode %q (want auto, on, or off)", s)
+	}
+}
+
 // Options configures one buffer-insertion run.
 type Options struct {
 	// Library is the buffer library (B types). Required.
@@ -120,6 +175,14 @@ type Options struct {
 	// SubtreeCacheMinNodes is the smallest subtree (node count) worth
 	// caching; 0 selects DefaultSubtreeCacheMinNodes.
 	SubtreeCacheMinNodes int
+	// HullBuffering selects the convex-hull buffering kernel for b-type
+	// libraries (default HullAuto = on wherever the rule supports it).
+	// Results are bit-identical in every mode; only the Stats counters
+	// and the wall clock change. Note that MaxCandidates is checked on
+	// the candidates actually materialized, so a run that exceeds the cap
+	// on the exact path can succeed under the hull kernel — the cap
+	// guards memory, and the skipped candidates never exist.
+	HullBuffering HullMode
 	// Context, when non-nil, cancels the run early: the engine checks it
 	// at every node and inside the quadratic 4P prune, aborting with
 	// ErrCanceled. Servers wire the per-request context here so abandoned
@@ -220,6 +283,17 @@ type Stats struct {
 	SubtreeHits   int64
 	SubtreeMisses int64
 	SubtreeStores int64
+	// Hull-kernel counters (all zero with HullOff or under Rule4P).
+	// HullSites counts buffer sites the kernel handled; HullSkipped the
+	// buffered candidates it proved dead before generation (each one
+	// would have been a Generated and a Pruned on the exact path);
+	// HullFallbacks the sites that bailed to exact generation because the
+	// staircase invariant could not be certified; HullPeak the largest
+	// per-site count of hull-selected candidates actually emitted.
+	HullSites     int64
+	HullSkipped   int64
+	HullFallbacks int64
+	HullPeak      int
 }
 
 // Result is the outcome of a successful insertion.

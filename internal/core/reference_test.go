@@ -387,6 +387,22 @@ func assertBitIdentical(t *testing.T, label string, got, want *Result) {
 	}
 }
 
+// assertHullIdentical checks a hull-kernel run against the exact
+// reference: the full Result must be bit-identical, and the only
+// permitted stats difference is the generation deficit — candidates the
+// kernel proved dominated and never materialized are missing from both
+// Generated and Pruned, in exactly equal measure (HullSkipped).
+func assertHullIdentical(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	patched := *got
+	patched.Stats.Generated += got.Stats.HullSkipped
+	patched.Stats.Pruned += got.Stats.HullSkipped
+	assertBitIdentical(t, label, &patched, want)
+	if got.Stats.HullSites == 0 && got.Stats.HullFallbacks == 0 {
+		t.Errorf("%s: hull kernel never engaged", label)
+	}
+}
+
 // refConfigs builds the option matrix for one tree. The model is shared
 // between the engines so the lazily allocated variation sources line up.
 func refConfigs(t *testing.T, tr *rctree.Tree, small bool) map[string]Options {
@@ -405,6 +421,8 @@ func refConfigs(t *testing.T, tr *rctree.Tree, small bool) map[string]Options {
 		"2P-pbar0.5": {Library: lib, Model: model},
 		"2P-pbar0.9": {Library: lib, Model: model, PbarL: 0.9, PbarT: 0.9},
 		"inverters":  {Library: append(slices.Clone(lib), device.InverterLibrary()...), Model: model},
+		"inverters-pbar0.9": {Library: append(slices.Clone(lib), device.InverterLibrary()...),
+			Model: model, PbarL: 0.9, PbarT: 0.9},
 	}
 	if small {
 		cfgs["wiresize"] = Options{Library: lib, Model: model, WireLibrary: wireLib}
@@ -452,6 +470,7 @@ func TestSoAMatchesReference(t *testing.T) {
 				}
 				serialOpts := opts
 				serialOpts.Parallelism = 1
+				serialOpts.HullBuffering = HullOff
 				got, err := Insert(c.tr, serialOpts)
 				if err != nil {
 					t.Fatal(err)
@@ -460,11 +479,27 @@ func TestSoAMatchesReference(t *testing.T) {
 				parOpts := opts
 				parOpts.Parallelism = 4
 				parOpts.MinParallelNodes = 1
+				parOpts.HullBuffering = HullOff
 				got, err = Insert(c.tr, parOpts)
 				if err != nil {
 					t.Fatal(err)
 				}
 				assertBitIdentical(t, "parallel", got, want)
+				if opts.Rule == Rule4P {
+					return // hull kernel does not engage under the 4P partial order
+				}
+				serialOpts.HullBuffering = HullAuto
+				got, err = Insert(c.tr, serialOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertHullIdentical(t, "serial-hull", got, want)
+				parOpts.HullBuffering = HullAuto
+				got, err = Insert(c.tr, parOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertHullIdentical(t, "parallel-hull", got, want)
 			})
 		}
 	}

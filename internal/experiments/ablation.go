@@ -104,7 +104,7 @@ func WireSizingAblation(cfg Config) ([]WireSizingRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		fixed, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism)
+		fixed, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism, cfg.Hull)
 		if err != nil {
 			return nil, err
 		}
@@ -119,6 +119,7 @@ func WireSizingAblation(cfg Config) ([]WireSizingRow, error) {
 			WireLibrary:    wlib,
 			SelectQuantile: cfg.YieldQuantile,
 			Parallelism:    cfg.Parallelism,
+			HullBuffering:  cfg.Hull,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: wire sizing on %s: %w", name, err)
@@ -258,7 +259,7 @@ func InverterAblation(cfg Config) ([]InverterRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		bufRes, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism)
+		bufRes, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism, cfg.Hull)
 		if err != nil {
 			return nil, err
 		}
@@ -275,6 +276,7 @@ func InverterAblation(cfg Config) ([]InverterRow, error) {
 			Model:          wid2,
 			SelectQuantile: cfg.YieldQuantile,
 			Parallelism:    cfg.Parallelism,
+			HullBuffering:  cfg.Hull,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: inverter run on %s: %w", name, err)
@@ -346,7 +348,7 @@ func CornerAblation(cfg Config) ([]CornerRow, error) {
 			return nil, err
 		}
 		// Corner flow: deterministic insertion believing the SS values.
-		cornerRes, err := core.Insert(tr, core.Options{Library: ssLib, Parallelism: cfg.Parallelism})
+		cornerRes, err := core.Insert(tr, core.Options{Library: ssLib, Parallelism: cfg.Parallelism, HullBuffering: cfg.Hull})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: SS corner on %s: %w", name, err)
 		}
@@ -355,7 +357,7 @@ func CornerAblation(cfg Config) ([]CornerRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		widRes, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism)
+		widRes, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism, cfg.Hull)
 		if err != nil {
 			return nil, err
 		}

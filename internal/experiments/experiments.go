@@ -55,6 +55,10 @@ type Config struct {
 	// insertion run: 0 selects GOMAXPROCS, 1 forces the serial engine.
 	// Results are identical either way; only wall-clock times change.
 	Parallelism int
+	// Hull is forwarded to core.Options.HullBuffering for every insertion
+	// run. Results are identical for every mode (the kernel is certified
+	// bit-identical); the knob exists for A/B timing of the tables.
+	Hull core.HullMode
 }
 
 // DefaultConfig returns the configuration used for EXPERIMENTS.md.
@@ -149,11 +153,12 @@ func buildModels(tree *rctree.Tree, budget float64, hetero bool) (wid, d2d *vari
 }
 
 // insertWID runs the variation-aware 2P insertion under the WID model.
-func insertWID(tree *rctree.Tree, model *variation.Model, q float64, par int) (*core.Result, error) {
+func insertWID(tree *rctree.Tree, model *variation.Model, q float64, par int, hull core.HullMode) (*core.Result, error) {
 	return core.Insert(tree, core.Options{
 		Library:        library(),
 		Model:          model,
 		SelectQuantile: q,
 		Parallelism:    par,
+		HullBuffering:  hull,
 	})
 }

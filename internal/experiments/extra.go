@@ -46,6 +46,7 @@ func PbarSweep(cfg Config, bench string) ([]PbarRow, error) {
 			PbarT:          pbar,
 			SelectQuantile: cfg.YieldQuantile,
 			Parallelism:    cfg.Parallelism,
+			HullBuffering:  cfg.Hull,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: pbar %.2f on %s: %w", pbar, bench, err)
@@ -99,7 +100,7 @@ func CapacityHTree(cfg Config) (*CapacityResult, error) {
 		return nil, err
 	}
 	t0 := time.Now()
-	res, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism)
+	res, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism, cfg.Hull)
 	if err != nil {
 		return nil, err
 	}

@@ -143,7 +143,7 @@ func Figure5(cfg Config) (*Figure5Result, error) {
 			return nil, err
 		}
 		t0 := time.Now()
-		if _, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism); err != nil {
+		if _, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism, cfg.Hull); err != nil {
 			return nil, fmt.Errorf("experiments: figure 5 on %s: %w", name, err)
 		}
 		el := time.Since(t0)
@@ -207,7 +207,7 @@ func Figure6(cfg Config) (*Figure6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism)
+	res, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism, cfg.Hull)
 	if err != nil {
 		return nil, err
 	}

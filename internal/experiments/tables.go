@@ -110,6 +110,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 			Timeout:        cfg.FourPTimeout,
 			SelectQuantile: cfg.YieldQuantile,
 			Parallelism:    cfg.Parallelism,
+			HullBuffering:  cfg.Hull,
 		})
 		switch {
 		case err == nil:
@@ -133,6 +134,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 			Model:          wid2,
 			SelectQuantile: cfg.YieldQuantile,
 			Parallelism:    cfg.Parallelism,
+			HullBuffering:  cfg.Hull,
 		}); err != nil {
 			return nil, fmt.Errorf("experiments: 2P on %s: %w", e.name, err)
 		}
@@ -221,15 +223,15 @@ func YieldComparison(cfg Config, hetero bool) ([]YieldRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		resNOM, err := core.Insert(tr, core.Options{Library: lib, Parallelism: cfg.Parallelism})
+		resNOM, err := core.Insert(tr, core.Options{Library: lib, Parallelism: cfg.Parallelism, HullBuffering: cfg.Hull})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: NOM on %s: %w", name, err)
 		}
-		resD2D, err := core.Insert(tr, core.Options{Library: lib, Model: d2d, SelectQuantile: cfg.YieldQuantile, Parallelism: cfg.Parallelism})
+		resD2D, err := core.Insert(tr, core.Options{Library: lib, Model: d2d, SelectQuantile: cfg.YieldQuantile, Parallelism: cfg.Parallelism, HullBuffering: cfg.Hull})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: D2D on %s: %w", name, err)
 		}
-		resWID, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism)
+		resWID, err := insertWID(tr, wid, cfg.YieldQuantile, cfg.Parallelism, cfg.Hull)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: WID on %s: %w", name, err)
 		}

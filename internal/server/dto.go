@@ -25,6 +25,11 @@ type InsertRequest struct {
 	Algo string `json:"algo,omitempty"`
 	// Rule is the pruning rule for variation-aware runs: 2p (default) or 4p.
 	Rule string `json:"rule,omitempty"`
+	// Hull selects the buffering kernel: "auto" (default; convex-hull
+	// kernel wherever it is certified bit-identical), "on", or "off".
+	// Results are identical for every value — only candidate throughput
+	// changes — so the field does not participate in result fingerprints.
+	Hull string `json:"hull,omitempty"`
 	// Pbar sets the 2P thresholds pbar_L = pbar_T. Default 0.5.
 	Pbar float64 `json:"pbar,omitempty"`
 	// Budget is the per-class variation budget. Default 0.15.
@@ -148,6 +153,14 @@ type StatsDTO struct {
 	SubtreeHits   int64 `json:"subtree_hits"`
 	SubtreeMisses int64 `json:"subtree_misses"`
 	SubtreeStores int64 `json:"subtree_stores"`
+	// Convex-hull buffering kernel activity: sites handled by the kernel,
+	// buffer candidates skipped before generation, sites that fell back to
+	// the exact kernel, and the peak per-site hull size (zero when the
+	// kernel is off or inapplicable, e.g. rule 4p).
+	HullSites     int64 `json:"hull_sites,omitempty"`
+	HullSkipped   int64 `json:"hull_skipped,omitempty"`
+	HullFallbacks int64 `json:"hull_fallbacks,omitempty"`
+	HullPeak      int   `json:"hull_peak,omitempty"`
 }
 
 // AssignmentEntry is one inserted buffer in an InsertResult.
@@ -255,6 +268,9 @@ func (r *InsertRequest) Normalize() error {
 	default:
 		return fmt.Errorf("unknown rule %q (want 2p or 4p)", r.Rule)
 	}
+	if _, err := vabuf.ParseHullMode(r.Hull); err != nil {
+		return err
+	}
 	if r.Pbar == 0 {
 		r.Pbar = 0.5
 	}
@@ -327,6 +343,9 @@ func (r *InsertRequest) ApplyDefaults(d *InsertRequest) {
 	}
 	if r.Rule == "" {
 		r.Rule = d.Rule
+	}
+	if r.Hull == "" {
+		r.Hull = d.Hull
 	}
 	if r.Pbar == 0 {
 		r.Pbar = d.Pbar
@@ -422,6 +441,10 @@ func NewInsertResult(tree *vabuf.Tree, lib vabuf.Library, algo string,
 			SubtreeHits:     res.Stats.SubtreeHits,
 			SubtreeMisses:   res.Stats.SubtreeMisses,
 			SubtreeStores:   res.Stats.SubtreeStores,
+			HullSites:       res.Stats.HullSites,
+			HullSkipped:     res.Stats.HullSkipped,
+			HullFallbacks:   res.Stats.HullFallbacks,
+			HullPeak:        res.Stats.HullPeak,
 		},
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
 	}

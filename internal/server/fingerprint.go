@@ -5,8 +5,9 @@ package server
 // normalized request (defaults filled, rule lowercased), trees are
 // addressed by cache key (benchmarks by name, inline text by content
 // hash), and fields that cannot change the response bytes are excluded —
-// timeout_ms only caps the run, priority only schedules it, and the DP
-// engine returns identical results for every parallelism. Two requests
+// timeout_ms only caps the run, priority only schedules it, the DP
+// engine returns identical results for every parallelism, and hull only
+// selects the buffering kernel (bit-identical by contract). Two requests
 // with equal fingerprints are therefore interchangeable: the result
 // cache answers the second from memory, and the in-flight registry
 // coalesces concurrent ones onto a single worker.

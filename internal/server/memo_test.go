@@ -166,6 +166,7 @@ func TestFingerprintTable(t *testing.T) {
 			{"timeout excluded", InsertRequest{Bench: "r1", Algo: "wid", TimeoutMS: 5000}},
 			{"priority excluded", InsertRequest{Bench: "r1", Algo: "wid", Priority: "sweep"}},
 			{"parallelism excluded", InsertRequest{Bench: "r1", Algo: "wid", Parallelism: 7}},
+			{"hull excluded", InsertRequest{Bench: "r1", Algo: "wid", Hull: "off"}},
 		}
 		for _, tc := range same {
 			if fp := fingerprintOf(t, tc.req); fp != baseFP {

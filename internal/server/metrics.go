@@ -68,6 +68,12 @@ type pruneTotals struct {
 	subtreeHits   int64
 	subtreeMisses int64
 	subtreeStores int64
+	// Convex-hull buffering kernel totals: skipped counts candidates
+	// never generated (the kernel's savings), fallbacks sites that took
+	// the exact path because the certification preconditions failed.
+	hullSites     int64
+	hullSkipped   int64
+	hullFallbacks int64
 }
 
 // snapshotCounters tracks the cache snapshot/warm-restart machinery.
@@ -252,6 +258,9 @@ func (m *metrics) recordRun(algo, rule string, elapsed time.Duration, res *vabuf
 	m.prune.subtreeHits += res.Stats.SubtreeHits
 	m.prune.subtreeMisses += res.Stats.SubtreeMisses
 	m.prune.subtreeStores += res.Stats.SubtreeStores
+	m.prune.hullSites += res.Stats.HullSites
+	m.prune.hullSkipped += res.Stats.HullSkipped
+	m.prune.hullFallbacks += res.Stats.HullFallbacks
 }
 
 func cacheSnapshot(c *lruCache, capacity int) map[string]any {
@@ -362,6 +371,9 @@ func (m *metrics) snapshot(pool *workerPool, trees, models, results *lruCache,
 		"subtree_hits":     m.prune.subtreeHits,
 		"subtree_misses":   m.prune.subtreeMisses,
 		"subtree_stores":   m.prune.subtreeStores,
+		"hull_sites":       m.prune.hullSites,
+		"hull_skipped":     m.prune.hullSkipped,
+		"hull_fallbacks":   m.prune.hullFallbacks,
 	}
 	m.mu.Unlock()
 

@@ -378,6 +378,8 @@ func (s *Server) prepare(req *InsertRequest) (*preparedRun, error) {
 	if req.Rule == "4p" {
 		opts.Rule = vabuf.Rule4P
 	}
+	// Normalize already validated the string; the error branch is dead.
+	opts.HullBuffering, _ = vabuf.ParseHullMode(req.Hull)
 	if req.WireSizing {
 		opts.WireLibrary = vabuf.DefaultWireLibrary()
 	}

@@ -299,6 +299,7 @@ func TestBadRequests(t *testing.T) {
 		{"garbage tree text", `{"tree":"this is not a tree"}`},
 		{"unknown algo", `{"bench":"p1","algo":"fast"}`},
 		{"unknown rule", `{"bench":"p1","rule":"5p"}`},
+		{"unknown hull", `{"bench":"p1","hull":"convex"}`},
 		{"pbar out of range", `{"bench":"p1","pbar":1.5}`},
 		{"quantile out of range", `{"bench":"p1","quantile":-0.1}`},
 		{"negative timeout", `{"bench":"p1","timeout_ms":-5}`},

@@ -16,6 +16,11 @@
 #   * end-to-end insertion     (internal/core + root: NOM/WID presets,
 #                               Serial vs Par4 vs Auto4 for the speedup
 #                               ratio and the auto-serial degrade)
+#   * library scaling          (internal/core: InsertLib{8,32} on r3 with
+#                               the n-cell ScaledLibrary; the *Exact
+#                               variants pin the pre-hull kernel so the
+#                               convex-hull buffering win stays measured
+#                               inside one snapshot)
 #   * subtree-DP caching       (internal/core: InsertSubtreeColdWIDr3 vs
 #                               InsertSubtreeWarmWIDr3 — a warm re-insert
 #                               with one mutated branch reuses every
@@ -65,6 +70,7 @@ run . 'InsertWIDr[35](Serial|Par4)$|MCR3'
   printf '  "cpus_online": %s,\n' "$(getconf _NPROCESSORS_ONLN)"
   printf '  "benchtime": "%s",\n' "$BENCHTIME"
   printf '  "count": %s,\n' "$COUNT"
+  printf '  "note": "InsertLib32NOMr3 Serial vs SerialExact is the convex-hull buffering kernel speedup on a 32-cell library (~5.7x at the 2026-08 snapshot)",\n'
   if [ -f scripts/bench_baseline.json ]; then
     # Frozen pre-arena/pre-parallel measurements, kept alongside every
     # snapshot so speedup and allocs/op deltas are readable in one file.

@@ -11,11 +11,14 @@ cd "$(dirname "$0")/.."
 #   * the end-to-end serial WID r3 insertion (the headline number),
 #   * the 1024-candidate 2P frontier scan (the SoA prune hot loop),
 #   * the warm subtree-cache re-insert (a silently dead cache would
-#     regress this one ~8x back to the cold time).
+#     regress this one ~8x back to the cold time),
+#   * the 32-cell-library r3 insertion (a silently disabled convex-hull
+#     buffering kernel would regress this one ~5.7x to the exact time).
 GUARDS="
 .:BenchmarkInsertWIDr3Serial
 ./internal/core/:BenchmarkPrune2P1024
 ./internal/core/:BenchmarkInsertSubtreeWarmWIDr3
+./internal/core/:BenchmarkInsertLib32NOMr3Serial
 "
 
 FAIL=0

@@ -1,12 +1,14 @@
 #!/usr/bin/env sh
 # scripts/chaos.sh — chaos soak: boot 3 vabufd instances that misbehave
-# on purpose (10% injected 500s, 5% latency spikes up to 150ms, seeded
-# PRNG so the run is reproducible) behind one vabufr with hedging
-# enabled, then drive 120 distinct interactive inserts and assert the
-# resilience envelopes from DESIGN.md §13:
+# on purpose (7% injected 500s, 3% connection resets, 5% latency spikes
+# up to 150ms, seeded PRNG so the run is reproducible) behind one vabufr
+# with hedging enabled, then drive 120 distinct interactive inserts and
+# assert the resilience envelopes from DESIGN.md §13:
 #
 #   1. client-visible success rate >= 99% — the failover walk plus the
-#      retry budget absorb single-backend faults;
+#      retry budget absorb single-backend faults, whether they surface
+#      as structured 500s or as mid-flight resets (EOF, a crashed
+#      backend);
 #   2. backend attempts <= 1.15x client requests — budgeted retries and
 #      hedges bound amplification instead of multiplying the outage
 #      (fills and lookups are disabled so the envelope isolates the
@@ -15,7 +17,12 @@
 #      504 at the router without one backend attempt — an expired
 #      request never reaches a DP worker;
 #   4. backend goroutine counts return to a flat envelope after the
-#      soak — faulted and hedged requests do not leak goroutines.
+#      soak — faulted and hedged requests do not leak goroutines;
+#   5. truncated and stalled NDJSON streams (the faults only a
+#      multi-write response can suffer) are recovered by bounded client
+#      retries of the adaptive yield stream — every stream delivers its
+#      result event, and a stall never wedges a stream past its
+#      read timeout.
 #
 # Used as a CI step; exits non-zero on any failure.
 set -eu
@@ -42,7 +49,7 @@ BACKENDS=""
 for i in 1 2 3; do
   "$TMP/vabufd" -addr 127.0.0.1:0 -instance "c$i" -epoch chaos-soak \
     -snapshot "$TMP/c$i.snap" -workers 2 \
-    -chaos "seed=$((i+10)),error=0.10,latency=0.05:150ms" >"$TMP/d$i.log" 2>&1 &
+    -chaos "seed=$((i+10)),error=0.07,reset=0.03,latency=0.05:150ms" >"$TMP/d$i.log" 2>&1 &
   PIDS="$PIDS $!"
 done
 for i in 1 2 3; do
@@ -163,6 +170,65 @@ for i in 1 2 3; do
   fi
 done
 
+# --- Envelope 5: stream faults. A 4th backend injects truncate (the
+# connection dies after the first NDJSON event) and stall (the writer
+# freezes 300ms mid-stream, a slow-read backend). Both only fire on
+# responses with more than one body write — exactly what the adaptive
+# yield stream produces, one progress event per committed Monte-Carlo
+# shard. A mid-stream fault cannot be replayed transparently (the client
+# already consumed part of the event stream; see the router's stream
+# proxy), so the envelope is bounded client retries: every stream must
+# deliver its result event within 4 attempts, stalls must clear inside
+# the read timeout, and the fault injection must demonstrably fire.
+"$TMP/vabufd" -addr 127.0.0.1:0 -instance c4 -epoch chaos-soak \
+  -snapshot "$TMP/c4.snap" -workers 2 \
+  -chaos "seed=44,truncate=0.15,stall=0.05:300ms" >"$TMP/d4.log" 2>&1 &
+PIDS="$PIDS $!"
+ADDR4=""
+for _ in $(seq 1 100); do
+  ADDR4=$(sed -n 's/.*vabufd listening on \([^ ]*\).*/\1/p' "$TMP/d4.log" | head -1)
+  [ -n "$ADDR4" ] && break
+  sleep 0.1
+done
+if [ -z "$ADDR4" ]; then
+  echo "chaos: vabufd c4 never logged its address" >&2
+  cat "$TMP/d4.log" >&2
+  exit 1
+fi
+for _ in $(seq 1 100); do
+  curl -fsS "http://$ADDR4/readyz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+M=40
+RETRIED=0
+for P in $(awk 'BEGIN{for(i=0;i<40;i++) printf "0.%03d ", 701+i}'); do
+  DONE=""
+  for _ in 1 2 3 4; do
+    if curl -sS -N --max-time 30 -H 'Content-Type: application/json' \
+      -d "{\"bench\":\"p1\",\"algo\":\"wid\",\"pbar\":$P,\"monte_carlo\":4000,\"mc_tol\":0.0001,\"parallelism\":1}" \
+      "http://$ADDR4/v1/yield:stream" 2>/dev/null | grep -q '"type":"result"'; then
+      DONE=1
+      break
+    fi
+    RETRIED=$((RETRIED + 1))
+  done
+  if [ -z "$DONE" ]; then
+    echo "chaos: stream pbar=$P never delivered a result in 4 attempts" >&2
+    exit 1
+  fi
+done
+if [ "$RETRIED" -lt 1 ]; then
+  echo "chaos: stream soak saw zero retries — truncate faults never fired" >&2
+  exit 1
+fi
+G1=$(metric goroutines "$ADDR4")
+if [ -z "$G1" ] || [ "$G1" -gt 60 ]; then
+  echo "chaos: stream backend c4 at ${G1:-?} goroutines after the soak" >&2
+  exit 1
+fi
+
 HEDGES=$(metric hedges "$ROUTER")
-echo "chaos: ok — $OK/$N served under 10% faults + 5% latency spikes," \
-  "$ATTEMPTS attempts (limit $LIMIT), ${HEDGES:-0} hedge(s), deadlines gated, goroutines flat"
+echo "chaos: ok — $OK/$N served under 7% faults + 3% resets + 5% latency spikes," \
+  "$ATTEMPTS attempts (limit $LIMIT), ${HEDGES:-0} hedge(s), deadlines gated," \
+  "$M/$M streams recovered ($RETRIED retry(ies) over truncate/stall), goroutines flat"

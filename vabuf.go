@@ -87,6 +87,9 @@ type (
 	Rule = core.Rule
 	// FourPParams are the quantile levels of the 4P baseline rule.
 	FourPParams = core.FourPParams
+	// HullMode selects the convex-hull buffering kernel (auto/on/off);
+	// results are bit-identical in every mode.
+	HullMode = core.HullMode
 	// SubtreeCache memoizes per-subtree DP frontiers across Insert calls
 	// (wire one instance into Options.SubtreeCache to make batch sweeps
 	// and ECO re-inserts recompute only changed branches).
@@ -133,6 +136,21 @@ const (
 	// Rule4P is the four-parameter baseline rule of the DATE 2005 paper [7].
 	Rule4P = core.Rule4P
 )
+
+// Convex-hull buffering kernel modes (see core.HullMode).
+const (
+	// HullAuto engages the hull kernel wherever the active rule supports
+	// it (the default).
+	HullAuto = core.HullAuto
+	// HullOn requests the kernel explicitly (same engagement as auto).
+	HullOn = core.HullOn
+	// HullOff forces the exact per-pair generation path.
+	HullOff = core.HullOff
+)
+
+// ParseHullMode parses "auto" (or ""), "on", "off" into a HullMode — the
+// spelling accepted by the CLI -hull flags and the JSON "hull" field.
+func ParseHullMode(s string) (HullMode, error) { return core.ParseHullMode(s) }
 
 // Sentinel errors from capacity-limited runs.
 var (
